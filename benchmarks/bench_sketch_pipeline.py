@@ -1,0 +1,70 @@
+"""Extension bench — sketch telemetry vs full CLog aggregation.
+
+The paper's pipeline "can use any logging or sketching algorithm"
+(§1).  Sketch summarization inside the zkVM has a very different cost
+profile from Merkle-authenticated CLogs: no per-record tree updates,
+just hash-row updates — so the in-guest cycle count per record is much
+lower, at the price of approximate answers.  This bench quantifies
+that tradeoff on the same committed workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prover_service import ProverService
+from repro.core.sketch_proof import SketchTelemetry, verify_sketch_build
+from repro.zkvm.costmodel import CostModel
+
+from _workloads import committed_workload
+
+MODEL = CostModel()
+RECORD_COUNTS = (200, 1000)
+
+
+@pytest.mark.parametrize("num_records", RECORD_COUNTS)
+def test_sketch_vs_clog_cycles(benchmark, report, num_records):
+    store, bulletin = committed_workload(num_records)
+    service = ProverService(store, bulletin)
+    windows = service.gather_window(0)
+
+    telemetry = SketchTelemetry(width=2048, depth=4)
+    build = benchmark.pedantic(lambda: telemetry.build(windows),
+                               rounds=1, iterations=1, warmup_rounds=0)
+    verify_sketch_build(build.receipt, bulletin)
+    sketch_cycles = build.info.stats.total_cycles
+
+    clog = service.aggregate_window(0)
+    clog_cycles = clog.info.stats.total_cycles
+
+    report.table(
+        "sketch-pipeline",
+        "Sketch summarization vs CLog aggregation (in-guest cycles)",
+        ["records", "sketch_cycles", "clog_cycles", "ratio",
+         "sketch_min", "clog_min"],
+    )
+    report.row("sketch-pipeline", num_records, sketch_cycles,
+               clog_cycles, clog_cycles / sketch_cycles,
+               MODEL.prove_seconds(build.info.stats) / 60,
+               MODEL.prove_seconds(clog.info.stats) / 60)
+    # Sketching avoids the Merkle work: meaningfully cheaper per round.
+    assert sketch_cycles < clog_cycles
+
+
+def test_sketch_journal_is_compact(report):
+    """The sketch build journal stays small regardless of the sketch's
+    internal size — only digest + top-k go public."""
+    store, bulletin = committed_workload(1000)
+    service = ProverService(store, bulletin)
+    windows = service.gather_window(0)
+    small = SketchTelemetry(width=256, depth=4).build(windows, top_k=5)
+    large = SketchTelemetry(width=8192, depth=6).build(windows, top_k=5)
+    report.table("sketch-journal",
+                 "Sketch journal size vs sketch width",
+                 ["width", "journal_B", "seal_B"])
+    report.row("sketch-journal", 256, small.receipt.journal_size,
+               small.receipt.seal_size)
+    report.row("sketch-journal", 8192, large.receipt.journal_size,
+               large.receipt.seal_size)
+    assert abs(large.receipt.journal_size
+               - small.receipt.journal_size) < 64

@@ -1,0 +1,67 @@
+"""Table 1 — proof, journal and receipt sizes for aggregation.
+
+Paper: "Proof sizes remain constant (256 bytes), as expected from
+zk-SNARKs, while the journal and receipt sizes grow with the number of
+entries."  We regenerate every row and check the three shape
+properties: constant 256-byte seal, linear journal growth, and receipt
+≈ 2× journal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prover_service import ProverService
+
+from _workloads import PAPER_RECORD_COUNTS, PAPER_TABLE1, \
+    committed_workload
+
+
+@pytest.fixture(scope="module")
+def table_rows():
+    rows = {}
+    for num_records in PAPER_RECORD_COUNTS:
+        store, bulletin = committed_workload(num_records)
+        service = ProverService(store, bulletin)
+        result = service.aggregate_window(0)
+        rows[num_records] = result.receipt
+    return rows
+
+
+@pytest.mark.parametrize("num_records", PAPER_RECORD_COUNTS)
+def test_table1_row(benchmark, report, table_rows, num_records):
+    receipt = table_rows[num_records]
+    benchmark.pedantic(receipt.to_json_bytes, rounds=3, iterations=1,
+                       warmup_rounds=0)
+    paper_proof, paper_journal_kb, paper_receipt_kb = \
+        PAPER_TABLE1[num_records]
+    report.table(
+        "table1",
+        "Table 1: proof sizes of aggregation (ours vs paper)",
+        ["records", "proof_B", "paper_B", "journal_KB", "paper_KB",
+         "receipt_KB", "paper_KB "],
+    )
+    report.row("table1", num_records, receipt.seal_size, paper_proof,
+               receipt.journal_size / 1024, paper_journal_kb,
+               receipt.receipt_size / 1024, paper_receipt_kb)
+    # Constant 256-byte proof at every scale.
+    assert receipt.seal_size == paper_proof == 256
+    # Journal within 20% of the paper's measurement.
+    assert receipt.journal_size / 1024 == \
+        pytest.approx(paper_journal_kb, rel=0.20)
+    # Receipt ≈ 2x journal (the paper's consistent ratio).
+    assert receipt.receipt_size / receipt.journal_size == \
+        pytest.approx(2.0, rel=0.15)
+
+
+def test_table1_journal_growth_is_linear(table_rows, report):
+    """Marginal journal bytes per record ≈ constant (paper: ~59 B)."""
+    small = table_rows[500]
+    large = table_rows[3000]
+    per_record = (large.journal_size - small.journal_size) / 2500
+    report.table("table1-marginal",
+                 "Table 1 shape: marginal journal bytes per record "
+                 "(paper: ~59 B)",
+                 ["bytes_per_record"])
+    report.row("table1-marginal", per_record)
+    assert 40 <= per_record <= 90

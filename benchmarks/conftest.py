@@ -1,0 +1,79 @@
+"""Benchmark-suite plumbing: the paper-vs-measured report.
+
+Benchmarks register result rows with the session-scoped
+:class:`ExperimentReport`; at session end the report is printed to the
+terminal (so it lands in ``bench_output.txt``) and written to
+``benchmarks/results/summary.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class ExperimentReport:
+    """Collects per-experiment tables across the benchmark session."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, dict] = {}
+
+    def table(self, experiment_id: str, title: str,
+              columns: list[str]) -> None:
+        self._tables.setdefault(experiment_id, {
+            "title": title, "columns": columns, "rows": []})
+
+    def row(self, experiment_id: str, *values) -> None:
+        self._tables[experiment_id]["rows"].append(
+            [_fmt(v) for v in values])
+
+    def render(self) -> str:
+        chunks = []
+        for experiment_id, table in self._tables.items():
+            header = f"[{experiment_id}] {table['title']}"
+            widths = [len(c) for c in table["columns"]]
+            for row in table["rows"]:
+                widths = [max(w, len(cell))
+                          for w, cell in zip(widths, row)]
+            def line(cells):
+                return "  ".join(cell.rjust(width)
+                                 for cell, width in zip(cells, widths))
+            chunks.append("\n".join(
+                [header, line(table["columns"]),
+                 line(["-" * w for w in widths])]
+                + [line(row) for row in table["rows"]]))
+        return "\n\n".join(chunks)
+
+    @property
+    def has_results(self) -> bool:
+        return any(t["rows"] for t in self._tables.values())
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+_REPORT = ExperimentReport()
+
+
+@pytest.fixture(scope="session")
+def report() -> ExperimentReport:
+    return _REPORT
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORT.has_results:
+        return
+    rendered = _REPORT.render()
+    terminalreporter.write_sep("=", "paper-vs-measured experiment report")
+    terminalreporter.write_line(rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "summary.txt").write_text(rendered + "\n")

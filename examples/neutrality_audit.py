@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Network-neutrality audit (paper §2.1, first scenario).
+
+"An edge operator could, for instance, prove that flows from distinct
+content providers exhibit statistically equivalent latency, throughput,
+and jitter distributions, without disclosing individual user data."
+
+We simulate two worlds — a fair network, and one that covertly
+throttles a single content provider — and run the same verifiable
+per-provider aggregate queries against both.  The throttled provider's
+numbers stand out in the proven aggregates, without the auditor ever
+seeing a flow record.
+
+Run:  python examples/neutrality_audit.py
+"""
+
+from repro.core.system import SystemConfig, TelemetrySystem
+from repro.netflow.generator import (
+    DEFAULT_PROVIDERS,
+    ThrottleSpec,
+    TrafficConfig,
+)
+
+VICTIM = sorted(DEFAULT_PROVIDERS)[0]
+
+
+def build_world(name: str, throttle: dict) -> TelemetrySystem:
+    system = TelemetrySystem(
+        SystemConfig(seed=47, flows_per_tick=8),
+        traffic=TrafficConfig(seed=47, throttle=throttle))
+    system.generate(350)
+    system.aggregate_all()
+    print(f"[{name}] {len(system.prover.state)} flows aggregated under "
+          f"{len(system.prover.chain)} chained proofs")
+    return system
+
+
+def provider_report(system: TelemetrySystem) -> dict[str, dict]:
+    """Per-provider verified aggregates (the audit's public output)."""
+    report = {}
+    for provider, prefix in sorted(DEFAULT_PROVIDERS.items()):
+        _resp, verified = system.query(
+            f'SELECT COUNT(*), AVG(rtt_avg_us), AVG(loss_rate) '
+            f'FROM clogs WHERE src_ip IN "{prefix}"')
+        count, rtt, loss = verified.values
+        report[provider] = {
+            "flows": count,
+            "rtt_ms": (rtt or 0) / 1000,
+            "loss": loss or 0.0,
+        }
+    return report
+
+
+def print_report(title: str, report: dict[str, dict],
+                 throttled: str | None = None) -> None:
+    print(f"\n{title}")
+    print(f"  {'provider':<10} {'flows':>6} {'avg rtt':>9} "
+          f"{'avg loss':>9}")
+    for provider, row in report.items():
+        marker = "  <- throttled" if provider == throttled else ""
+        print(f"  {provider:<10} {row['flows']:>6} "
+              f"{row['rtt_ms']:>7.1f}ms {row['loss']:>8.2%}{marker}")
+
+
+def verdict(report: dict[str, dict]) -> bool:
+    """Simple neutrality check: no provider's mean RTT may exceed the
+    best provider's by more than 2x (policy thresholds are out of the
+    paper's scope; this one is illustrative)."""
+    rtts = [row["rtt_ms"] for row in report.values() if row["flows"]]
+    return max(rtts) <= 2 * min(rtts)
+
+
+def main() -> None:
+    fair = build_world("fair network", throttle={})
+    fair_report = provider_report(fair)
+    print_report("fair network — verified per-provider aggregates:",
+                 fair_report)
+    print(f"  neutrality verdict: "
+          f"{'CLEAN' if verdict(fair_report) else 'VIOLATION'}")
+
+    throttled = build_world(
+        "throttling network",
+        throttle={VICTIM: ThrottleSpec(extra_latency_us=80_000,
+                                       extra_loss_rate=0.08)})
+    throttled_report = provider_report(throttled)
+    print_report("throttling network — verified per-provider "
+                 "aggregates:", throttled_report, throttled=VICTIM)
+    print(f"  neutrality verdict: "
+          f"{'CLEAN' if verdict(throttled_report) else 'VIOLATION'}")
+
+    # The whole per-provider table also fits in ONE proven query,
+    # since providers are /16-assigned: GROUP BY the source /16.
+    response, verified = throttled.query(
+        "SELECT COUNT(*), AVG(rtt_avg_us) FROM clogs "
+        "GROUP BY src_net16")
+    print("\nsame audit as a single GROUP BY query "
+          f"(one {response.receipt.seal_size}-byte proof):")
+    for prefix, (count, rtt) in verified.groups:
+        print(f"  {prefix:<14} {count:>4} flows, "
+              f"avg rtt {(rtt or 0) / 1000:.1f} ms")
+
+    print("\nnote: the auditor verified every number above against the "
+          "operator's\ncommitted telemetry without receiving a single "
+          "NetFlow record.")
+
+
+if __name__ == "__main__":
+    main()

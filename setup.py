@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` on modern pip requires the ``wheel`` package to
+build editable metadata; fully offline environments may lack it.  This
+shim keeps the legacy ``python setup.py develop`` path working there
+(see README "Install").
+"""
+
+from setuptools import setup
+
+setup()

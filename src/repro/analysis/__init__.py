@@ -1,0 +1,17 @@
+"""Statistical analysis helpers for the audit scenarios (§2.1)."""
+
+from .stats import (
+    DistributionComparison,
+    DistributionSummary,
+    compare_distributions,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "DistributionComparison",
+    "DistributionSummary",
+    "compare_distributions",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,101 @@
+"""Distribution statistics for the neutrality audit scenario.
+
+§2.1: "An edge operator could, for instance, prove that flows from
+distinct content providers exhibit statistically equivalent latency,
+throughput, and jitter distributions."  The neutrality example runs
+verifiable per-provider aggregate queries and then applies these
+host-side statistics to the *public* query outputs (and, for the
+ground-truth check, a two-sample KS test on simulated samples).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+from ..errors import ConfigurationError
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (0 <= q <= 100) by linear interpolation."""
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    if not 0 <= q <= 100:
+        raise ConfigurationError(f"percentile {q} out of [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return float(ordered[low] * (1 - frac) + ordered[high] * frac)
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of one sample set."""
+
+    count: int
+    mean: float
+    stdev: float
+    p50: float
+    p90: float
+    p99: float
+
+
+def summarize(samples: Sequence[float]) -> DistributionSummary:
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((x - mean) ** 2 for x in samples) / n
+    return DistributionSummary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        p50=percentile(samples, 50),
+        p90=percentile(samples, 90),
+        p99=percentile(samples, 99),
+    )
+
+
+@dataclass(frozen=True)
+class DistributionComparison:
+    """Two-sample comparison verdict."""
+
+    statistic: float
+    p_value: float
+    alpha: float
+    mean_ratio: float
+
+    @property
+    def equivalent(self) -> bool:
+        """Fail to reject 'same distribution' at level alpha."""
+        return self.p_value >= self.alpha
+
+
+def compare_distributions(a: Sequence[float], b: Sequence[float],
+                          alpha: float = 0.01) -> DistributionComparison:
+    """Two-sample Kolmogorov–Smirnov test.
+
+    A *small* p-value rejects distributional equality — evidence of
+    differentiated treatment between the two providers' flows.
+    """
+    if len(a) < 2 or len(b) < 2:
+        raise ConfigurationError("need at least two samples per side")
+    result = scipy_stats.ks_2samp(list(a), list(b))
+    mean_a = sum(a) / len(a)
+    mean_b = sum(b) / len(b)
+    ratio = mean_a / mean_b if mean_b else float("inf")
+    return DistributionComparison(
+        statistic=float(result.statistic),
+        p_value=float(result.pvalue),
+        alpha=alpha,
+        mean_ratio=ratio,
+    )

@@ -1,0 +1,396 @@
+"""Command-line interface: drive the full pipeline from a shell.
+
+The CLI persists everything as plain files so each stage can run in a
+separate process (or on a separate machine, as the paper's off-path
+aggregation intends):
+
+* the shared log store is a sqlite database (``--db``),
+* the bulletin board is a JSON file of published commitments,
+* receipts are JSON files in a directory (one per round).
+
+Typical session::
+
+    python -m repro simulate  --db logs.db --bulletin bulletin.json --records 400
+    python -m repro aggregate --db logs.db --bulletin bulletin.json --receipts out/
+    python -m repro query     --db logs.db --bulletin bulletin.json --receipts out/ \
+        'SELECT COUNT(*) FROM clogs'
+    python -m repro verify    --bulletin bulletin.json --receipts out/
+    python -m repro tamper    --db logs.db --router r1 --window 1 --kind modify-field
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from .commitments import BulletinBoard, Commitment
+from .core.prover_service import ProverService
+from .core.verifier_client import VerifierClient
+from .errors import ReproError
+from .hashing import Digest
+from .netflow import NetFlowSimulator, SimClock, SimulatorConfig
+from .netflow.generator import TrafficConfig
+from .storage import SqliteLogStore
+from .zkvm import Receipt
+from .zkvm.costmodel import CostModel
+
+# ---------------------------------------------------------------------------
+# Bulletin / receipt persistence
+# ---------------------------------------------------------------------------
+
+
+def save_bulletin(bulletin: BulletinBoard, path: pathlib.Path) -> None:
+    entries = [{
+        "router_id": c.router_id,
+        "window_index": c.window_index,
+        "digest": c.digest.hex(),
+        "record_count": c.record_count,
+        "published_at_ms": c.published_at_ms,
+    } for c in bulletin]
+    path.write_text(json.dumps({"commitments": entries}, indent=2))
+
+
+def load_bulletin(path: pathlib.Path) -> BulletinBoard:
+    bulletin = BulletinBoard()
+    data = json.loads(path.read_text())
+    for entry in data["commitments"]:
+        bulletin.publish(Commitment(
+            router_id=entry["router_id"],
+            window_index=entry["window_index"],
+            digest=Digest.from_hex(entry["digest"]),
+            record_count=entry["record_count"],
+            published_at_ms=entry["published_at_ms"],
+        ))
+    return bulletin
+
+
+def save_receipts(receipts: list[Receipt], directory: pathlib.Path
+                  ) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    for round_index, receipt in enumerate(receipts):
+        (directory / f"round-{round_index:04d}.json").write_bytes(
+            receipt.to_json_bytes())
+
+
+def load_receipts(directory: pathlib.Path) -> list[Receipt]:
+    receipts = []
+    for path in sorted(directory.glob("round-*.json")):
+        receipts.append(Receipt.from_json_bytes(path.read_bytes()))
+    if not receipts:
+        raise ReproError(f"no receipts found under {directory}")
+    return receipts
+
+
+def rebuild_service(db: pathlib.Path, bulletin_path: pathlib.Path,
+                    receipts_dir: pathlib.Path | None,
+                    strategy: str = "update") -> ProverService:
+    """A prover service over the persisted store/bulletin; if a receipt
+    directory is given, replay the recorded rounds to restore state."""
+    store = SqliteLogStore(str(db))
+    bulletin = load_bulletin(bulletin_path)
+    service = ProverService(store, bulletin, strategy=strategy)
+    if receipts_dir is not None and receipts_dir.exists():
+        recorded = load_receipts(receipts_dir)
+        for receipt in recorded:
+            header = next(receipt.journal.values())
+            windows = sorted({w["w"] for w in header["windows"]})
+            service.aggregate_windows(windows)
+        restored_roots = [link.new_root for link in service.chain]
+        recorded_roots = [next(r.journal.values())["new_root"]
+                          for r in recorded]
+        if restored_roots != recorded_roots:
+            raise ReproError(
+                "replayed rounds do not reproduce the recorded roots — "
+                "the store changed since the receipts were produced")
+    return service
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    store = SqliteLogStore(str(args.db))
+    bulletin = BulletinBoard()
+    simulator = NetFlowSimulator(
+        store, bulletin, SimClock(),
+        SimulatorConfig(num_routers=args.routers,
+                        commit_interval_ms=args.window_ms,
+                        flows_per_tick=args.flows_per_tick,
+                        traffic=TrafficConfig(seed=args.seed)))
+    simulator.run_until_records(args.records)
+    simulator.flush()
+    save_bulletin(bulletin, args.bulletin)
+    store.close()
+    print(f"simulated {simulator.records_generated} records into "
+          f"{args.db}; {len(bulletin)} commitments -> {args.bulletin}")
+    return 0
+
+
+def cmd_aggregate(args: argparse.Namespace) -> int:
+    service = rebuild_service(args.db, args.bulletin, None,
+                              strategy=args.strategy)
+    results = service.aggregate_all_committed()
+    if not results:
+        print("nothing to aggregate (no committed windows)")
+        return 1
+    save_receipts(service.chain.receipts(), args.receipts)
+    model = CostModel()
+    for result in results:
+        modeled = model.prove_seconds(result.info.stats) / 60
+        print(f"round {result.round}: {result.record_count} records -> "
+              f"{len(result.new_state)} flows, root "
+              f"{result.new_root.short()}…, modeled prove "
+              f"{modeled:.1f} min")
+    print(f"{len(results)} receipts -> {args.receipts}")
+    service.store.close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    service = rebuild_service(args.db, args.bulletin, args.receipts)
+    response = service.answer_query(args.sql)
+    verifier = VerifierClient(service.bulletin)
+    chain = verifier.verify_chain(service.chain.receipts())
+    verified = verifier.verify_query(response, chain[-1])
+    print(f"query: {args.sql}")
+    for label, value in zip(verified.labels, verified.values):
+        print(f"  {label} = {value}")
+    print(f"  matched {verified.matched}/{verified.scanned} flows; "
+          f"round {verified.round}, root {verified.root.short()}…")
+    if args.out is not None:
+        args.out.write_bytes(response.receipt.to_json_bytes())
+        print(f"  query receipt -> {args.out}")
+    service.store.close()
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    bulletin = load_bulletin(args.bulletin)
+    receipts = load_receipts(args.receipts)
+    verifier = VerifierClient(bulletin)
+    try:
+        verified = verifier.verify_chain(receipts)
+    except ReproError as exc:
+        print(f"VERIFICATION FAILED: {exc}")
+        return 1
+    for link in verified:
+        print(f"round {link.round}: OK — {link.entries} records over "
+              f"windows {sorted(set(link.windows))}, root "
+              f"{link.new_root.short()}…")
+    print(f"chain of {len(verified)} rounds verified")
+    return 0
+
+
+def cmd_bundle(args: argparse.Namespace) -> int:
+    from .core.audit import AuditBundle
+    service = rebuild_service(args.db, args.bulletin, args.receipts)
+    responses = []
+    for sql in args.query or []:
+        responses.append(service.answer_query(sql))
+    bundle = AuditBundle.from_service(
+        service, responses,
+        metadata={"tool": "repro-cli", "queries": args.query or []})
+    args.out.write_bytes(bundle.to_json_bytes())
+    print(f"audit bundle: {len(bundle.chain)} rounds, "
+          f"{len(bundle.commitments)} commitments, "
+          f"{len(bundle.query_receipts)} query receipts -> {args.out}")
+    service.store.close()
+    return 0
+
+
+def cmd_verify_bundle(args: argparse.Namespace) -> int:
+    from .core.audit import AuditBundle, verify_bundle
+    try:
+        bundle = AuditBundle.from_json_bytes(args.bundle.read_bytes())
+        report = verify_bundle(bundle)
+    except ReproError as exc:
+        print(f"BUNDLE VERIFICATION FAILED: {exc}")
+        return 1
+    print(report.summary())
+    return 0
+
+
+def cmd_verify_query(args: argparse.Namespace) -> int:
+    bulletin = load_bulletin(args.bulletin)
+    receipts = load_receipts(args.receipts)
+    query_receipt = Receipt.from_json_bytes(
+        args.query_receipt.read_bytes())
+    verifier = VerifierClient(bulletin)
+    try:
+        chain = verifier.verify_chain(receipts)
+        journal = query_receipt.journal.decode_one()
+        # Reconstruct the response the provider shipped.
+        from .core.query_proof import QueryResponse
+        response = QueryResponse(
+            sql=journal["query"],
+            labels=tuple(journal["labels"]),
+            values=tuple(journal["values"]),
+            matched=journal["matched"],
+            scanned=journal["scanned"],
+            round=journal["round"],
+            root=journal["root"],
+            receipt=query_receipt,
+            group_by=journal.get("group_by"),
+            groups=tuple((key, tuple(values)) for key, values in
+                         journal.get("groups", [])),
+        )
+        verified = verifier.verify_query(response,
+                                         chain[journal["round"]])
+    except (ReproError, IndexError, KeyError) as exc:
+        print(f"QUERY VERIFICATION FAILED: {exc}")
+        return 1
+    print(f"query: {verified.sql}")
+    for label, value in zip(verified.labels, verified.values):
+        print(f"  {label} = {value}")
+    for key, values in verified.groups:
+        print(f"  [{key}] "
+              + ", ".join(f"{label}={value}" for label, value
+                          in zip(verified.labels, values)))
+    print(f"  VERIFIED against round {verified.round} "
+          f"(root {verified.root.short()}…)")
+    return 0
+
+
+def cmd_tamper(args: argparse.Namespace) -> int:
+    from .core import tamper as tamper_mod
+    store = SqliteLogStore(str(args.db))
+    actions = {
+        "modify-field": lambda: tamper_mod.modify_record_field(
+            store, args.router, args.window, args.seq,
+            packets=987_654_321),
+        "corrupt-bytes": lambda: tamper_mod.corrupt_record_bytes(
+            store, args.router, args.window, args.seq),
+        "truncate": lambda: tamper_mod.truncate_window(
+            store, args.router, args.window, keep=1),
+        "reorder": lambda: tamper_mod.reorder_window(
+            store, args.router, args.window),
+    }
+    actions[args.kind]()
+    store.close()
+    print(f"tampered ({args.kind}) router {args.router} window "
+          f"{args.window}; subsequent aggregation of that window will "
+          "fail")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    store = SqliteLogStore(str(args.db))
+    total = 0
+    for router_id in store.router_ids():
+        windows = store.window_indices(router_id)
+        counts = [store.window_count(router_id, w) for w in windows]
+        total += sum(counts)
+        print(f"{router_id}: windows {windows} "
+              f"({sum(counts)} records)")
+    print(f"total: {total} records")
+    store.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def _add_db(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--db", type=pathlib.Path, required=True,
+                        help="sqlite log store path")
+
+
+def _add_bulletin(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bulletin", type=pathlib.Path, required=True,
+                        help="bulletin-board JSON path")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="verifiable network telemetry (HotNets '25 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="generate + commit telemetry")
+    _add_db(p)
+    _add_bulletin(p)
+    p.add_argument("--records", type=int, default=400)
+    p.add_argument("--routers", type=int, default=4)
+    p.add_argument("--window-ms", type=int, default=5_000)
+    p.add_argument("--flows-per-tick", type=int, default=10)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("aggregate", help="prove aggregation rounds")
+    _add_db(p)
+    _add_bulletin(p)
+    p.add_argument("--receipts", type=pathlib.Path, required=True,
+                   help="directory for round receipts")
+    p.add_argument("--strategy", choices=["update", "rebuild"],
+                   default="update")
+    p.set_defaults(fn=cmd_aggregate)
+
+    p = sub.add_parser("query", help="prove + verify a SQL query")
+    _add_db(p)
+    _add_bulletin(p)
+    p.add_argument("--receipts", type=pathlib.Path, required=True)
+    p.add_argument("--out", type=pathlib.Path, default=None,
+                   help="write the query receipt JSON here")
+    p.add_argument("sql", help="e.g. 'SELECT COUNT(*) FROM clogs'")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("verify", help="client-side chain verification")
+    _add_bulletin(p)
+    p.add_argument("--receipts", type=pathlib.Path, required=True)
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("bundle", help="export a portable audit bundle")
+    _add_db(p)
+    _add_bulletin(p)
+    p.add_argument("--receipts", type=pathlib.Path, required=True)
+    p.add_argument("--out", type=pathlib.Path, required=True)
+    p.add_argument("--query", action="append",
+                   help="include a proven query (repeatable)")
+    p.set_defaults(fn=cmd_bundle)
+
+    p = sub.add_parser("verify-bundle",
+                       help="standalone audit-bundle verification")
+    p.add_argument("--bundle", type=pathlib.Path, required=True)
+    p.set_defaults(fn=cmd_verify_bundle)
+
+    p = sub.add_parser("verify-query",
+                       help="client-side query-receipt verification")
+    _add_bulletin(p)
+    p.add_argument("--receipts", type=pathlib.Path, required=True)
+    p.add_argument("--query-receipt", type=pathlib.Path, required=True)
+    p.set_defaults(fn=cmd_verify_query)
+
+    p = sub.add_parser("tamper", help="inject post-commitment tampering")
+    _add_db(p)
+    p.add_argument("--router", required=True)
+    p.add_argument("--window", type=int, required=True)
+    p.add_argument("--seq", type=int, default=0)
+    p.add_argument("--kind", default="modify-field",
+                   choices=["modify-field", "corrupt-bytes",
+                            "truncate", "reorder"])
+    p.set_defaults(fn=cmd_tamper)
+
+    p = sub.add_parser("info", help="inspect the log store")
+    _add_db(p)
+    p.set_defaults(fn=cmd_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

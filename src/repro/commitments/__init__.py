@@ -1,0 +1,22 @@
+"""Per-router hash commitments and the public bulletin board (§3, §5).
+
+"We require service providers to periodically commit to their raw logs by
+computing a cryptographic hash over the data in each router.  These hash
+commitments are published periodically and serve as tamper-evident
+attestations."  Routers buffer records into fixed time windows (5 s in
+the paper's eval), hash each window's canonical record bytes, and publish
+the digest.  The aggregation guest later recomputes the hash over what
+the store holds and aborts on any mismatch (Algorithm 1, lines 5-11).
+"""
+
+from .bulletin import BulletinBoard, Commitment
+from .committer import RouterCommitter
+from .window import WindowConfig, window_digest
+
+__all__ = [
+    "BulletinBoard",
+    "Commitment",
+    "RouterCommitter",
+    "WindowConfig",
+    "window_digest",
+]

@@ -1,0 +1,151 @@
+"""Host-side orchestration of one aggregation round (§4.1).
+
+The :class:`Aggregator` gathers committed router windows, builds the
+Merkle witness, runs the aggregation guest in the zkVM, and resolves the
+recursion assumption against the previous round's receipt — producing an
+*unconditional* receipt whose journal publicly binds the old root, the
+new root, and the window commitments consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ChainError, ProofError
+from ..hashing import Digest
+from ..zkvm import ExecutorEnvBuilder, ProveInfo, Prover, ProverOpts, Receipt
+from ..zkvm.recursion import resolve
+from .clog import CLogState
+from .guest_programs import aggregation_guest
+from .policy import DEFAULT_POLICY, AggregationPolicy
+from .witness import AggregationWitness, build_witness
+
+
+@dataclass(frozen=True)
+class RouterWindowInput:
+    """One committed router window handed to the aggregator."""
+
+    router_id: str
+    window_index: int
+    commitment: Digest
+    blobs: tuple[bytes, ...]
+
+
+def make_receipt_binding(receipt: Receipt) -> dict[str, Any]:
+    """The claim components a guest needs to recompute a claim digest.
+
+    Must correspond field-for-field to
+    :func:`repro.core.guest_programs._guest_claim_digest`.
+    """
+    if receipt.claim.assumptions:
+        raise ChainError(
+            "cannot bind a conditional receipt; resolve its assumptions "
+            "first")
+    return {
+        "image_id": receipt.claim.image_id,
+        "input_digest": receipt.claim.input_digest,
+        "exit_code": int(receipt.claim.exit_code),
+        "total_cycles": receipt.claim.total_cycles,
+        "segment_count": receipt.claim.segment_count,
+        "journal": receipt.journal.data,
+    }
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """Outcome of one proven aggregation round.
+
+    ``witness`` is populated by the update-path strategy
+    (:class:`Aggregator`) and ``None`` for the full-rebuild strategy
+    (:class:`repro.core.rebuild.RebuildAggregator`) — rebuild rounds
+    carry no per-record Merkle witness.
+    """
+
+    round: int
+    receipt: Receipt
+    info: ProveInfo
+    new_state: CLogState
+    record_count: int
+    new_root: Digest
+    witness: AggregationWitness | None = None
+
+    @property
+    def journal_header(self) -> dict[str, Any]:
+        header = next(self.receipt.journal.values(), None)
+        if not isinstance(header, dict):
+            raise ProofError("aggregation journal missing header")
+        return header
+
+
+class Aggregator:
+    """Runs Algorithm 1 rounds through the zkVM prover."""
+
+    def __init__(self, policy: AggregationPolicy = DEFAULT_POLICY,
+                 prover_opts: ProverOpts | None = None) -> None:
+        self.policy = policy
+        self._prover = Prover(prover_opts or ProverOpts.groth16())
+
+    def aggregate(self, state: CLogState,
+                  windows: list[RouterWindowInput],
+                  prev_receipt: Receipt | None) -> AggregationResult:
+        """Prove one round over ``windows`` starting from ``state``.
+
+        Raises :class:`~repro.errors.GuestAbort` if any integrity check
+        fails inside the guest (tampered logs, broken chain, bad
+        witness) — an aborted round produces no receipt and leaves
+        ``state`` untouched.
+        """
+        if state.round > 0 and prev_receipt is None:
+            raise ChainError(
+                f"round {state.round} requires the round "
+                f"{state.round - 1} receipt")
+        ordered = sorted(windows,
+                         key=lambda w: (w.router_id, w.window_index))
+        records = []
+        from ..serialization import decode
+        from ..netflow.records import NetFlowRecord
+        for window in ordered:
+            for blob in window.blobs:
+                records.append(NetFlowRecord.from_wire(decode(blob)))
+        witness = build_witness(state, records, self.policy)
+        builder = ExecutorEnvBuilder()
+        builder.write({
+            "round": state.round,
+            "policy": self.policy.to_wire(),
+            "prev_root": witness.prev_root,
+            "prev_size": witness.prev_size,
+            "prev_depth": witness.prev_depth,
+            "num_routers": len(ordered),
+            "num_ops": witness.op_count,
+        })
+        if state.round > 0:
+            builder.write(make_receipt_binding(prev_receipt))
+        for window in ordered:
+            builder.write({
+                "router_id": window.router_id,
+                "window_index": window.window_index,
+                "commitment": window.commitment,
+                "blobs": list(window.blobs),
+            })
+        for op in witness.ops:
+            builder.write(op)
+        info = self._prover.prove(aggregation_guest, builder.build())
+        receipt = info.receipt
+        if state.round > 0:
+            receipt = resolve(receipt, prev_receipt)
+        header = next(receipt.journal.values(), None)
+        if not isinstance(header, dict) \
+                or header.get("new_root") != witness.new_root:
+            raise ProofError(
+                "guest-computed root diverged from the host witness — "
+                "host/guest aggregation logic is out of sync")
+        return AggregationResult(
+            round=state.round,
+            receipt=receipt,
+            info=info,
+            new_state=witness.new_state,
+            record_count=len(records),
+            new_root=witness.new_root,
+            witness=witness,
+        )

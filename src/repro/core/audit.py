@@ -1,0 +1,209 @@
+"""Audit bundles: one portable artifact for a complete audit.
+
+Everything a regulator needs to independently re-verify a provider's
+telemetry claims, in a single JSON document:
+
+* the bulletin board (every router window commitment),
+* the full aggregation receipt chain,
+* any number of query receipts,
+* a transparency-log checkpoint over the chain.
+
+:func:`verify_bundle` replays the client-side checks from the bundle
+alone — no store access, no provider interaction — and returns a
+structured report.  Bundles are self-describing and versioned, so they
+can be archived for the retention periods compliance regimes require
+(long after the raw logs are gone, which is the point: §2.2 "network
+logs are typically ephemeral").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..commitments import BulletinBoard, Commitment
+from ..errors import ReproError, VerificationError
+from ..hashing import Digest
+from ..zkvm import Receipt
+from .prover_service import ProverService
+from .query_proof import QueryResponse
+from .transparency import LogCheckpoint, ReceiptTransparencyLog
+from .verifier_client import VerifierClient
+
+BUNDLE_VERSION = 1
+
+
+@dataclass
+class AuditBundle:
+    """The portable audit artifact."""
+
+    commitments: list[Commitment]
+    chain: list[Receipt]
+    query_receipts: list[Receipt] = field(default_factory=list)
+    checkpoint: LogCheckpoint | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_service(cls, service: ProverService,
+                     query_responses: list[QueryResponse] | None = None,
+                     metadata: dict[str, Any] | None = None
+                     ) -> "AuditBundle":
+        """Snapshot a prover service's public material."""
+        log = ReceiptTransparencyLog()
+        receipts = service.chain.receipts()
+        for receipt in receipts:
+            log.append(receipt)
+        return cls(
+            commitments=list(service.bulletin),
+            chain=receipts,
+            query_receipts=[response.receipt for response in
+                            (query_responses or [])],
+            checkpoint=log.checkpoint(),
+            metadata=dict(metadata or {}),
+        )
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_json_bytes(self) -> bytes:
+        document = {
+            "version": BUNDLE_VERSION,
+            "metadata": self.metadata,
+            "commitments": [{
+                "router_id": c.router_id,
+                "window_index": c.window_index,
+                "digest": c.digest.hex(),
+                "record_count": c.record_count,
+                "published_at_ms": c.published_at_ms,
+            } for c in self.commitments],
+            "chain": [receipt.to_json_bytes().decode()
+                      for receipt in self.chain],
+            "query_receipts": [receipt.to_json_bytes().decode()
+                               for receipt in self.query_receipts],
+            "checkpoint": ({"size": self.checkpoint.size,
+                            "root": self.checkpoint.root.hex()}
+                           if self.checkpoint else None),
+        }
+        return json.dumps(document, indent=1).encode()
+
+    @classmethod
+    def from_json_bytes(cls, data: bytes) -> "AuditBundle":
+        try:
+            document = json.loads(data.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ReproError(f"malformed bundle: {exc}") from exc
+        if document.get("version") != BUNDLE_VERSION:
+            raise ReproError(
+                f"unsupported bundle version {document.get('version')}")
+        checkpoint = None
+        if document.get("checkpoint"):
+            checkpoint = LogCheckpoint(
+                size=document["checkpoint"]["size"],
+                root=Digest.from_hex(document["checkpoint"]["root"]))
+        return cls(
+            commitments=[Commitment(
+                router_id=entry["router_id"],
+                window_index=entry["window_index"],
+                digest=Digest.from_hex(entry["digest"]),
+                record_count=entry["record_count"],
+                published_at_ms=entry["published_at_ms"],
+            ) for entry in document["commitments"]],
+            chain=[Receipt.from_json_bytes(blob.encode())
+                   for blob in document["chain"]],
+            query_receipts=[Receipt.from_json_bytes(blob.encode())
+                            for blob in document["query_receipts"]],
+            checkpoint=checkpoint,
+            metadata=document.get("metadata", {}),
+        )
+
+
+@dataclass(frozen=True)
+class BundleReport:
+    """Outcome of a standalone bundle verification."""
+
+    rounds: int
+    final_root: Digest
+    final_size: int
+    windows: tuple[tuple[str, int], ...]
+    queries: tuple[dict[str, Any], ...]
+    checkpoint_ok: bool
+
+    def summary(self) -> str:
+        lines = [f"{self.rounds} aggregation rounds verified; final "
+                 f"root {self.final_root.short()}… over "
+                 f"{self.final_size} flows"]
+        lines.append(f"windows consumed: {len(self.windows)}; "
+                     f"transparency checkpoint "
+                     f"{'OK' if self.checkpoint_ok else 'ABSENT'}")
+        for query in self.queries:
+            lines.append(f"query OK: {query['query']!r} -> "
+                         f"{query['values']}")
+        return "\n".join(lines)
+
+
+def verify_bundle(bundle: AuditBundle) -> BundleReport:
+    """Re-verify everything in a bundle from its own contents.
+
+    Raises a :class:`~repro.errors.ReproError` subclass on any failure:
+    bad receipt, broken chain, commitment mismatch, query bound to a
+    root outside the chain, or a checkpoint that does not match the
+    chain's claims.
+    """
+    bulletin = BulletinBoard()
+    for commitment in bundle.commitments:
+        bulletin.publish(commitment)
+    verifier = VerifierClient(bulletin)
+    verified_chain = verifier.verify_chain(bundle.chain)
+    by_round = {v.round: v for v in verified_chain}
+
+    queries: list[dict[str, Any]] = []
+    for receipt in bundle.query_receipts:
+        journal = receipt.journal.decode_one()
+        target = by_round.get(journal.get("round"))
+        if target is None:
+            raise VerificationError(
+                "query receipt references a round outside the chain")
+        response = QueryResponse(
+            sql=journal["query"],
+            labels=tuple(journal["labels"]),
+            values=tuple(journal["values"]),
+            matched=journal["matched"],
+            scanned=journal["scanned"],
+            round=journal["round"],
+            root=journal["root"],
+            receipt=receipt,
+            group_by=journal.get("group_by"),
+            groups=tuple((key, tuple(values)) for key, values in
+                         journal.get("groups", [])),
+        )
+        verified = verifier.verify_query(response, target)
+        queries.append({"query": verified.sql,
+                        "values": list(verified.values),
+                        "groups": [[key, list(values)] for key, values
+                                   in verified.groups],
+                        "round": verified.round})
+
+    checkpoint_ok = False
+    if bundle.checkpoint is not None:
+        log = ReceiptTransparencyLog()
+        for receipt in bundle.chain:
+            log.append(receipt)
+        if log.checkpoint() != bundle.checkpoint:
+            raise VerificationError(
+                "bundle checkpoint does not match the receipt chain")
+        checkpoint_ok = True
+
+    windows: list[tuple[str, int]] = []
+    for verified in verified_chain:
+        windows.extend(verified.windows)
+    last = verified_chain[-1]
+    return BundleReport(
+        rounds=len(verified_chain),
+        final_root=last.new_root,
+        final_size=last.size,
+        windows=tuple(windows),
+        queries=tuple(queries),
+        checkpoint_ok=checkpoint_ok,
+    )

@@ -1,0 +1,78 @@
+"""The aggregation proof chain (§4.1 step 1).
+
+Every round's receipt is chained to the previous one through in-guest
+claim verification, so the provider's history forms a verifiable linked
+list: genesis (empty CLog) → round 0 → round 1 → ...  The chain object
+is the provider-side ledger of those links; clients re-verify it with
+:meth:`repro.core.verifier_client.VerifierClient.verify_chain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..errors import ChainError
+from ..hashing import Digest
+from ..zkvm import Receipt
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One aggregation round's public artifacts."""
+
+    round: int
+    receipt: Receipt
+    new_root: Digest
+    size: int
+    record_count: int
+
+    @property
+    def journal_header(self) -> dict[str, Any]:
+        header = next(self.receipt.journal.values(), None)
+        if not isinstance(header, dict):
+            raise ChainError(
+                f"round {self.round} journal missing header")
+        return header
+
+
+class AggregationChain:
+    """Append-only ledger of aggregation rounds."""
+
+    def __init__(self) -> None:
+        self._links: list[ChainLink] = []
+
+    def append(self, link: ChainLink) -> None:
+        expected = len(self._links)
+        if link.round != expected:
+            raise ChainError(
+                f"cannot append round {link.round}; expected {expected}")
+        if self._links:
+            prev_root = link.journal_header.get("prev_root")
+            if prev_root != self._links[-1].new_root:
+                raise ChainError(
+                    f"round {link.round} does not extend round "
+                    f"{expected - 1}: prev_root mismatch")
+        self._links.append(link)
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __iter__(self) -> Iterator[ChainLink]:
+        return iter(self._links)
+
+    def __getitem__(self, index: int) -> ChainLink:
+        return self._links[index]
+
+    @property
+    def latest(self) -> ChainLink:
+        if not self._links:
+            raise ChainError("chain is empty; aggregate first")
+        return self._links[-1]
+
+    @property
+    def latest_receipt(self) -> Receipt:
+        return self.latest.receipt
+
+    def receipts(self) -> list[Receipt]:
+        return [link.receipt for link in self._links]

@@ -1,0 +1,142 @@
+"""Background aggregation daemon (§4: "The aggregation phase is
+decoupled from query processing and runs independently in the
+background.  This allows it to be scaled according to the available
+resources of the provider.").
+
+:class:`AggregationDaemon` watches the bulletin board and decides *when*
+to spend a proving round, trading prover cost against staleness:
+
+* batch up to ``batch_limit`` committed windows into one round
+  (amortizing the fixed proving overhead — see the window-size
+  ablation), but
+* never let a committed window wait longer than ``max_lag_ms``
+  (bounding how stale query answers can be).
+
+Driven by explicit ``step`` calls (tests, simulations with a virtual
+clock) or ``run_threaded`` for wall-clock deployments.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..netflow.clock import Clock
+from .aggregation import AggregationResult
+from .prover_service import ProverService
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class DaemonPolicy:
+    """When to spend a proving round."""
+
+    batch_limit: int = 4          # aggregate as soon as this many wait
+    max_lag_ms: int = 10_000      # ... or the oldest has waited this long
+    min_windows: int = 1
+
+    def __post_init__(self) -> None:
+        if self.batch_limit < 1 or self.min_windows < 1:
+            raise ConfigurationError("limits must be >= 1")
+        if self.max_lag_ms < 0:
+            raise ConfigurationError("max_lag_ms must be >= 0")
+
+
+@dataclass
+class DaemonStats:
+    rounds: int = 0
+    windows_consumed: int = 0
+    records_aggregated: int = 0
+    results: list[AggregationResult] = field(default_factory=list)
+
+
+class AggregationDaemon:
+    """Polls the bulletin, batches windows, runs proving rounds."""
+
+    def __init__(self, service: ProverService, clock: Clock,
+                 policy: DaemonPolicy | None = None) -> None:
+        self.service = service
+        self.clock = clock
+        self.policy = policy or DaemonPolicy()
+        self.stats = DaemonStats()
+        self._first_seen_ms: dict[int, int] = {}
+
+    # -- observation -----------------------------------------------------------
+
+    def pending_windows(self) -> list[int]:
+        """Committed windows not yet aggregated, oldest first."""
+        consumed = self.service.aggregated_windows
+        now = self.clock.now_ms()
+        pending = [w for w in self.service.bulletin.windows()
+                   if w not in consumed]
+        for window in pending:
+            self._first_seen_ms.setdefault(window, now)
+        return pending
+
+    def oldest_lag_ms(self) -> int:
+        pending = self.pending_windows()
+        if not pending:
+            return 0
+        now = self.clock.now_ms()
+        return max(now - self._first_seen_ms[w] for w in pending)
+
+    def should_run(self) -> bool:
+        pending = self.pending_windows()
+        if len(pending) < self.policy.min_windows:
+            return False
+        if len(pending) >= self.policy.batch_limit:
+            return True
+        return self.oldest_lag_ms() >= self.policy.max_lag_ms
+
+    # -- driving -------------------------------------------------------------------
+
+    def step(self) -> AggregationResult | None:
+        """One scheduling decision: aggregate a batch, or do nothing."""
+        if not self.should_run():
+            return None
+        batch = self.pending_windows()[:self.policy.batch_limit]
+        logger.debug("daemon aggregating windows %s (lag %d ms)",
+                     batch, self.oldest_lag_ms())
+        result = self.service.aggregate_windows(batch)
+        for window in batch:
+            self._first_seen_ms.pop(window, None)
+        self.stats.rounds += 1
+        self.stats.windows_consumed += len(batch)
+        self.stats.records_aggregated += result.record_count
+        self.stats.results.append(result)
+        return result
+
+    def drain(self) -> int:
+        """Aggregate everything pending regardless of policy timing;
+        returns the number of rounds run."""
+        rounds = 0
+        while True:
+            pending = self.pending_windows()
+            if not pending:
+                return rounds
+            batch = pending[:self.policy.batch_limit]
+            result = self.service.aggregate_windows(batch)
+            for window in batch:
+                self._first_seen_ms.pop(window, None)
+            self.stats.rounds += 1
+            self.stats.windows_consumed += len(batch)
+            self.stats.records_aggregated += result.record_count
+            self.stats.results.append(result)
+            rounds += 1
+
+    def run_threaded(self, stop: threading.Event,
+                     poll_ms: int = 200) -> threading.Thread:
+        """Run the daemon loop off-thread until ``stop`` is set."""
+        def loop() -> None:
+            while not stop.is_set():
+                self.step()
+                self.clock.sleep_ms(poll_ms)
+
+        thread = threading.Thread(target=loop,
+                                  name="aggregation-daemon",
+                                  daemon=True)
+        thread.start()
+        return thread

@@ -1,0 +1,387 @@
+"""The zkVM guest programs (what would be the Rust guest crate).
+
+Three circuits:
+
+* :data:`aggregation_guest` — Algorithm 1: verify the previous round's
+  claim (via ``env.verify`` recursion), recompute every router window's
+  hash against its published commitment, then fold each record into the
+  CLog under verified Merkle updates, producing the new root.
+* :data:`query_guest` — §4.2: bind to an aggregation claim, re-derive
+  the committed root from the full entry set, evaluate the SQL query,
+  and commit (query, root, result) to the journal.
+* :data:`partition_guest` / :data:`merge_guest` — §7 "Proof
+  parallelization": per-partition partial aggregation proofs merged by a
+  guest that verifies each partition claim.
+
+Everything the guests hash or verify is charged to the cycle meter; the
+constants below set the generic-compute costs (decode, merge, predicate
+evaluation) that the RISC-V instruction stream would incur.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..hashing import (
+    TAG_ASSUMPTION,
+    TAG_CLAIM,
+    TAG_COMMITMENT,
+    TAG_JOURNAL,
+    TAG_RLOG,
+    Digest,
+)
+from ..merkle import MerkleTree
+from ..merkle.tree import EMPTY_ROOTS
+from ..netflow.records import NetFlowRecord
+from ..query import evaluate, parse_query
+from ..serialization import decode, decode_stream
+from ..zkvm.guest import GuestEnv, guest_program
+from .clog import CLogEntry, entry_view_from_wire
+from .policy import AggregationPolicy
+from .witness import OP_GROW, OP_INSERT, OP_UPDATE
+
+# Generic-compute cycle charges (RISC-V work outside the sha accelerator).
+DECODE_CYCLES_PER_BYTE = 2
+MERGE_CYCLES = 120
+QUERY_VIEW_CYCLES = 400
+QUERY_NODE_CYCLES = 20
+PARSE_CYCLES_PER_BYTE = 8
+RECORD_TAG_BYTES = 16
+
+
+def _guest_claim_digest(env: GuestEnv, binding: dict[str, Any]) -> Digest:
+    """Recompute another receipt's claim digest from its components.
+
+    Byte-for-byte the same construction as
+    :meth:`repro.zkvm.receipt.ReceiptClaim.digest` (with no assumptions —
+    chained receipts must be resolved/unconditional).  The caller then
+    passes the digest to ``env.verify``, so assumption resolution forces
+    the actual previous receipt to carry exactly these components —
+    including the journal bytes provided here, which is how journal
+    contents (e.g. the previous root) become trusted inside this guest.
+    """
+    journal_digest = env.tagged_hash(TAG_JOURNAL, binding["journal"],
+                                     category="verify")
+    assumptions_digest = env.hash_many(TAG_ASSUMPTION, [],
+                                       category="verify")
+    return env.tagged_hash(
+        TAG_CLAIM,
+        binding["image_id"].raw,
+        binding["input_digest"].raw,
+        journal_digest.raw,
+        int(binding["exit_code"]).to_bytes(4, "big"),
+        binding["total_cycles"].to_bytes(8, "big"),
+        binding["segment_count"].to_bytes(4, "big"),
+        assumptions_digest.raw,
+        category="verify",
+    )
+
+
+def _path_root(hasher: Any, leaf: Digest, index: int,
+               siblings: list[Digest]) -> Digest:
+    """Recompute the root implied by a sibling path (metered)."""
+    digest = leaf
+    pos = index
+    for sibling in siblings:
+        if pos & 1:
+            digest = hasher.node(sibling, digest)
+        else:
+            digest = hasher.node(digest, sibling)
+        pos >>= 1
+    return digest
+
+
+@guest_program("telemetry-aggregation-v1")
+def aggregation_guest(env: GuestEnv) -> None:
+    """Algorithm 1, exactly as the paper lays it out.
+
+    Input frames, in order:
+
+    1. header: round, policy, prev root/size/depth, router and op counts;
+    2. (round > 0 only) previous-receipt binding for Step 1;
+    3. one frame per router: id, window, published commitment, raw blobs;
+    4. one frame per witness op (grow/update/insert).
+
+    Journal: a round header (public roots, sizes, window commitments)
+    followed by one compact item per aggregated record.
+    """
+    header = env.read()
+    round_index = header["round"]
+    policy = AggregationPolicy.from_wire(header["policy"])
+    current_root: Digest = header["prev_root"]
+    size: int = header["prev_size"]
+    depth: int = header["prev_depth"]
+    hasher = env.merkle_hasher()
+
+    # -- Step 1: Verify Previous Aggregation (lines 1-4) --------------------
+    if round_index > 0:
+        binding = env.read()
+        env.tick(len(binding["journal"]) * DECODE_CYCLES_PER_BYTE,
+                 "verify")
+        claim_digest = _guest_claim_digest(env, binding)
+        prev_values = decode_stream(binding["journal"])
+        prev_header = next(prev_values, None)
+        if not isinstance(prev_header, dict):
+            env.abort("previous journal has no header")
+        if prev_header.get("new_root") != current_root \
+                or prev_header.get("size") != size \
+                or prev_header.get("depth") != depth \
+                or prev_header.get("round") != round_index - 1:
+            env.abort("previous journal does not match claimed prev state")
+        env.verify(binding["image_id"], claim_digest)
+    else:
+        if size != 0 or current_root != EMPTY_ROOTS[0] or depth != 0:
+            env.abort("genesis round must start from an empty CLog")
+
+    # -- Step 2: Verify Authenticity of Raw Logs (lines 5-11) -----------------
+    windows: list[dict[str, Any]] = []
+    batch: list[tuple[bytes, dict[str, Any]]] = []
+    for _ in range(header["num_routers"]):
+        router_input = env.read()
+        recomputed = env.hash_many(TAG_COMMITMENT, router_input["blobs"],
+                                   category="commitment")
+        if recomputed != router_input["commitment"]:
+            env.abort(
+                f"integrity check failed for router "
+                f"{router_input['router_id']!r} window "
+                f"{router_input['window_index']}: commitment mismatch")
+        windows.append({
+            "r": router_input["router_id"],
+            "w": router_input["window_index"],
+            "c": recomputed,
+        })
+        for blob in router_input["blobs"]:
+            env.tick(len(blob) * DECODE_CYCLES_PER_BYTE, "decode")
+            wire = decode(blob)
+            batch.append((blob, wire))
+
+    # -- Step 3: Verify, Aggregate, and Update Merkle Tree (lines 12-23) -------
+    items: list[dict[str, Any]] = []
+    ops_remaining = header["num_ops"]
+    for blob, record_wire in batch:
+        if ops_remaining <= 0:
+            env.abort("witness exhausted before all records aggregated")
+        op = env.read()
+        ops_remaining -= 1
+        if op["op"] == OP_GROW:
+            current_root = hasher.node(current_root, EMPTY_ROOTS[depth])
+            depth += 1
+            if ops_remaining <= 0:
+                env.abort("grow op not followed by an insert")
+            op = env.read()
+            ops_remaining -= 1
+        siblings: list[Digest] = op["siblings"]
+        if len(siblings) != depth:
+            env.abort("witness path length does not match tree depth")
+        slot: int = op["slot"]
+        key_bytes: bytes = record_wire["key"]
+        env.tick(MERGE_CYCLES, "aggregate")
+        record = NetFlowRecord.from_wire(record_wire)
+        if op["op"] == OP_UPDATE:
+            old_payload: bytes = op["old_payload"]
+            old_leaf = hasher.leaf(key_bytes + old_payload)
+            if _path_root(hasher, old_leaf, slot, siblings) \
+                    != current_root:
+                env.abort("integrity check for existing CLog entry "
+                          "failed (line 17)")
+            env.tick(len(old_payload) * DECODE_CYCLES_PER_BYTE, "decode")
+            entry = CLogEntry.from_payload(old_payload)
+            if entry.key != record.key:
+                env.abort("witness entry key does not match record key")
+            new_entry = entry.merge(record, policy)
+        elif op["op"] == OP_INSERT:
+            if slot != size:
+                env.abort("insert must target the append slot")
+            if _path_root(hasher, EMPTY_ROOTS[0], slot, siblings) \
+                    != current_root:
+                env.abort("vacant-slot proof failed")
+            new_entry = CLogEntry.fresh(record)
+            size += 1
+        else:
+            env.abort(f"unknown witness op {op['op']!r}")
+        new_payload = new_entry.to_payload()
+        new_leaf = hasher.leaf(key_bytes + new_payload)
+        current_root = _path_root(hasher, new_leaf, slot, siblings)
+        record_tag = env.tagged_hash(
+            TAG_RLOG, blob, category="commitment").raw[:RECORD_TAG_BYTES]
+        items.append({"s": slot, "l": new_leaf, "t": record_tag})
+    if ops_remaining != 0:
+        env.abort("witness has more ops than records")
+
+    env.commit({
+        "round": round_index,
+        "prev_root": header["prev_root"],
+        "new_root": current_root,
+        "size": size,
+        "depth": depth,
+        "windows": windows,
+        "policy": policy.digest(),
+        "entries": len(items),
+    })
+    for item in items:
+        env.commit(item)
+
+
+@guest_program("telemetry-query-v1")
+def query_guest(env: GuestEnv) -> None:
+    """§4.2: prove a query result over the committed aggregation state.
+
+    Input frames: query header; aggregation-receipt binding; then every
+    CLog entry (key, payload) in slot order.  The guest re-derives the
+    Merkle root from the full entry set and aborts unless it matches the
+    root the bound aggregation claim committed to — so the query
+    provably ran over exactly the attested dataset.
+    """
+    header = env.read()
+    binding = env.read()
+    env.tick(len(binding["journal"]) * DECODE_CYCLES_PER_BYTE, "verify")
+    claim_digest = _guest_claim_digest(env, binding)
+    agg_values = decode_stream(binding["journal"])
+    agg_header = next(agg_values, None)
+    if not isinstance(agg_header, dict):
+        env.abort("aggregation journal has no header")
+    env.verify(binding["image_id"], claim_digest)
+    root: Digest = agg_header["new_root"]
+    size: int = agg_header["size"]
+    if header["num_entries"] != size:
+        env.abort(
+            f"prover supplied {header['num_entries']} entries, "
+            f"aggregation state holds {size}")
+
+    hasher = env.merkle_hasher()
+    leaves: list[Digest] = []
+    views: list[dict[str, Any]] = []
+    for _ in range(size):
+        frame = env.read()
+        key_bytes: bytes = frame["key"]
+        payload: bytes = frame["payload"]
+        leaves.append(hasher.leaf(key_bytes + payload))
+        env.tick(len(payload) * DECODE_CYCLES_PER_BYTE, "decode")
+        wire = decode(payload)
+        if wire["key"] != key_bytes:
+            env.abort("entry payload key does not match frame key")
+        env.tick(QUERY_VIEW_CYCLES, "decode")
+        views.append(entry_view_from_wire(wire))
+    tree = MerkleTree(leaves, hasher=hasher)
+    if tree.root != root:
+        env.abort("CLog entries do not reproduce the committed root")
+
+    sql: str = header["query"]
+    env.tick(len(sql) * PARSE_CYCLES_PER_BYTE, "parse")
+    query = parse_query(sql)
+    result = evaluate(
+        query, views,
+        cost_hook=lambda nodes: env.tick(nodes * QUERY_NODE_CYCLES,
+                                         "evaluate"))
+    env.commit({
+        "query": sql,
+        "root": root,
+        "round": agg_header["round"],
+        "labels": list(result.labels),
+        "values": list(result.values),
+        "matched": result.matched,
+        "scanned": result.scanned,
+        "group_by": result.group_by,
+        "groups": [[key, list(values)]
+                   for key, values in result.groups],
+    })
+
+
+@guest_program("telemetry-partition-v1")
+def partition_guest(env: GuestEnv) -> None:
+    """§7 parallelization: partial aggregation over one partition.
+
+    Verifies the partition's window commitments and folds its records
+    into *partial* per-flow aggregates (no Merkle state — partials are
+    public journal outputs merged downstream).
+    """
+    header = env.read()
+    policy = AggregationPolicy.from_wire(header["policy"])
+    windows: list[dict[str, Any]] = []
+    partials: dict[bytes, CLogEntry] = {}
+    order: list[bytes] = []
+    for _ in range(header["num_routers"]):
+        router_input = env.read()
+        recomputed = env.hash_many(TAG_COMMITMENT, router_input["blobs"],
+                                   category="commitment")
+        if recomputed != router_input["commitment"]:
+            env.abort(
+                f"integrity check failed for router "
+                f"{router_input['router_id']!r}")
+        windows.append({
+            "r": router_input["router_id"],
+            "w": router_input["window_index"],
+            "c": recomputed,
+        })
+        for blob in router_input["blobs"]:
+            env.tick(len(blob) * DECODE_CYCLES_PER_BYTE, "decode")
+            env.tick(MERGE_CYCLES, "aggregate")
+            record = NetFlowRecord.from_wire(decode(blob))
+            key_bytes = record.key.pack()
+            existing = partials.get(key_bytes)
+            if existing is None:
+                partials[key_bytes] = CLogEntry.fresh(record)
+                order.append(key_bytes)
+            else:
+                partials[key_bytes] = existing.merge(record, policy)
+    env.commit({
+        "partition": header["partition"],
+        "windows": windows,
+        "policy": policy.digest(),
+        "entries": len(order),
+    })
+    for key_bytes in order:
+        env.commit({"k": key_bytes,
+                    "p": partials[key_bytes].to_payload()})
+
+
+@guest_program("telemetry-merge-v1")
+def merge_guest(env: GuestEnv) -> None:
+    """§7 parallelization: merge partition proofs into one final proof.
+
+    Verifies each partition claim via ``env.verify``, combines the
+    partial aggregates (associative policies only), builds the full
+    Merkle tree in-guest, and commits the combined root — a single
+    receipt standing for the whole round.
+    """
+    header = env.read()
+    policy = AggregationPolicy.from_wire(header["policy"])
+    combined: dict[bytes, CLogEntry] = {}
+    order: list[bytes] = []
+    windows: list[dict[str, Any]] = []
+    for _ in range(header["num_partitions"]):
+        binding = env.read()
+        env.tick(len(binding["journal"]) * DECODE_CYCLES_PER_BYTE,
+                 "verify")
+        claim_digest = _guest_claim_digest(env, binding)
+        values = list(decode_stream(binding["journal"]))
+        part_header = values[0] if values else None
+        if not isinstance(part_header, dict):
+            env.abort("partition journal has no header")
+        if part_header["policy"] != policy.digest():
+            env.abort("partition used a different aggregation policy")
+        env.verify(binding["image_id"], claim_digest)
+        windows.extend(part_header["windows"])
+        for item in values[1:]:
+            env.tick(len(item["p"]) * DECODE_CYCLES_PER_BYTE, "decode")
+            env.tick(MERGE_CYCLES, "aggregate")
+            partial = CLogEntry.from_payload(item["p"])
+            existing = combined.get(item["k"])
+            if existing is None:
+                combined[item["k"]] = partial
+                order.append(item["k"])
+            else:
+                combined[item["k"]] = existing.combine(partial, policy)
+    hasher = env.merkle_hasher()
+    leaves = [hasher.leaf(key_bytes + combined[key_bytes].to_payload())
+              for key_bytes in order]
+    tree = MerkleTree(leaves, hasher=hasher)
+    env.commit({
+        "round": header["round"],
+        "new_root": tree.root,
+        "size": len(order),
+        "depth": tree.depth,
+        "windows": windows,
+        "policy": policy.digest(),
+        "entries": len(order),
+    })

@@ -1,0 +1,144 @@
+"""Parallel proof generation (§7 "Proof parallelization").
+
+"NetFlow entries can be partitioned by flow ID or router ID, with
+separate proofs generated in parallel.  These partial proofs can then be
+merged into a single final proof."
+
+:class:`ParallelAggregator` partitions the round's windows by router,
+proves each partition with :data:`~repro.core.guest_programs.partition_guest`
+concurrently, then proves a merge step that verifies every partition
+claim in-guest and emits the combined root.  The modeled latency is
+``max(partition prove times) + merge prove time`` versus the sequential
+sum — the ablation benchmark sweeps the partition count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..hashing import Digest
+from ..zkvm import ExecutorEnvBuilder, ProveInfo, Prover, ProverOpts, Receipt
+from ..zkvm.costmodel import CostModel, ProverBackend
+from ..zkvm.recursion import resolve_all
+from .aggregation import RouterWindowInput, make_receipt_binding
+from .guest_programs import merge_guest, partition_guest
+from .policy import DEFAULT_POLICY, AggregationPolicy
+
+
+@dataclass(frozen=True)
+class ParallelAggregationResult:
+    """Receipts and latency model for one parallel round."""
+
+    receipt: Receipt
+    partition_infos: tuple[ProveInfo, ...]
+    merge_info: ProveInfo
+    new_root: Digest
+    size: int
+
+    def modeled_seconds(self, model: CostModel,
+                        backend: ProverBackend =
+                        ProverBackend.CPU_ZKVM) -> float:
+        """End-to-end latency with partitions proven concurrently."""
+        slowest = max(model.prove_seconds(info.stats, backend)
+                      for info in self.partition_infos)
+        return slowest + model.prove_seconds(self.merge_info.stats,
+                                             backend)
+
+    def sequential_seconds(self, model: CostModel,
+                           backend: ProverBackend =
+                           ProverBackend.CPU_ZKVM) -> float:
+        """The same work proven one partition at a time."""
+        total = sum(model.prove_seconds(info.stats, backend)
+                    for info in self.partition_infos)
+        return total + model.prove_seconds(self.merge_info.stats, backend)
+
+
+class ParallelAggregator:
+    """Partition → prove concurrently → merge in one guest."""
+
+    def __init__(self, policy: AggregationPolicy = DEFAULT_POLICY,
+                 prover_opts: ProverOpts | None = None,
+                 max_workers: int | None = None) -> None:
+        self.policy = policy
+        self._opts = prover_opts or ProverOpts.succinct()
+        self._max_workers = max_workers
+
+    def aggregate(self, windows: list[RouterWindowInput],
+                  num_partitions: int | None = None
+                  ) -> ParallelAggregationResult:
+        """Prove ``windows`` as partitioned partial aggregations.
+
+        Partitions are router-aligned (a router's windows stay
+        together, since a window commitment must be checked whole).
+        """
+        if not windows:
+            raise ConfigurationError("no windows to aggregate")
+        partitions = self._partition(windows, num_partitions)
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            partition_infos = list(pool.map(self._prove_partition,
+                                            range(len(partitions)),
+                                            partitions))
+        merge_info, receipt = self._prove_merge(partition_infos)
+        header = next(receipt.journal.values())
+        return ParallelAggregationResult(
+            receipt=receipt,
+            partition_infos=tuple(partition_infos),
+            merge_info=merge_info,
+            new_root=header["new_root"],
+            size=header["size"],
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _partition(self, windows: list[RouterWindowInput],
+                   num_partitions: int | None
+                   ) -> list[list[RouterWindowInput]]:
+        by_router: dict[str, list[RouterWindowInput]] = {}
+        for window in sorted(windows, key=lambda w: (w.router_id,
+                                                     w.window_index)):
+            by_router.setdefault(window.router_id, []).append(window)
+        groups = list(by_router.values())
+        if num_partitions is not None and num_partitions < 1:
+            raise ConfigurationError("num_partitions must be >= 1")
+        count = min(num_partitions or len(groups), len(groups))
+        partitions: list[list[RouterWindowInput]] = \
+            [[] for _ in range(count)]
+        for index, group in enumerate(groups):
+            partitions[index % count].extend(group)
+        return partitions
+
+    def _prove_partition(self, index: int,
+                         windows: list[RouterWindowInput]) -> ProveInfo:
+        builder = ExecutorEnvBuilder()
+        builder.write({
+            "partition": index,
+            "policy": self.policy.to_wire(),
+            "num_routers": len(windows),
+        })
+        for window in windows:
+            builder.write({
+                "router_id": window.router_id,
+                "window_index": window.window_index,
+                "commitment": window.commitment,
+                "blobs": list(window.blobs),
+            })
+        return Prover(self._opts).prove(partition_guest, builder.build())
+
+    def _prove_merge(self, partition_infos: list[ProveInfo]
+                     ) -> tuple[ProveInfo, Receipt]:
+        builder = ExecutorEnvBuilder()
+        builder.write({
+            "round": 0,
+            "policy": self.policy.to_wire(),
+            "num_partitions": len(partition_infos),
+        })
+        for info in partition_infos:
+            builder.write(make_receipt_binding(info.receipt))
+        merge_info = Prover(self._opts).prove(merge_guest,
+                                              builder.build())
+        receipt = resolve_all(
+            merge_info.receipt,
+            [info.receipt for info in partition_infos])
+        return merge_info, receipt

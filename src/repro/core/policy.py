@@ -1,0 +1,90 @@
+"""Aggregation policies: how per-router observations combine per flow.
+
+§4: "The service provider collects RLogs ... and aggregates them into a
+unified dataset (CLogs) based on a predefined aggregation policy.  For
+instance, packet loss counts from each router for the same flows can be
+summed to produce a total loss count per flow."
+
+A policy assigns a combinator to each counter field.  The default policy
+sums loss (per the paper's example), takes the maximum for offered
+packets/octets (the ingress router sees the full flow; summing across
+vantage points would multiply-count), and the maximum hop count (the
+egress observation carries the full path length).  Timestamps take
+min/max; RTT and jitter accumulate as (sum, count) pairs for averaging.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..hashing import Digest, hash_many
+
+
+class AggOp(enum.Enum):
+    """Field combinators available to a policy."""
+
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    LAST = "last"
+
+    def combine(self, old: int, new: int) -> int:
+        if self is AggOp.SUM:
+            return old + new
+        if self is AggOp.MIN:
+            return min(old, new)
+        if self is AggOp.MAX:
+            return max(old, new)
+        return new  # LAST
+
+
+# The counter fields a policy governs (record field -> CLog field).
+POLICY_FIELDS = ("packets", "octets", "lost_packets", "hop_count")
+
+
+@dataclass(frozen=True)
+class AggregationPolicy:
+    """Per-field combinators for CLog aggregation."""
+
+    packets: AggOp = AggOp.MAX
+    octets: AggOp = AggOp.MAX
+    lost_packets: AggOp = AggOp.SUM
+    hop_count: AggOp = AggOp.MAX
+
+    def op_for(self, field: str) -> AggOp:
+        if field not in POLICY_FIELDS:
+            raise ConfigurationError(f"{field!r} is not a policy field")
+        return getattr(self, field)
+
+    def to_wire(self) -> dict[str, Any]:
+        return {field: self.op_for(field).value
+                for field in POLICY_FIELDS}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "AggregationPolicy":
+        try:
+            return cls(**{field: AggOp(wire[field])
+                          for field in POLICY_FIELDS})
+        except (KeyError, ValueError) as exc:
+            raise ConfigurationError(
+                f"invalid policy wire {wire!r}") from exc
+
+    def digest(self) -> Digest:
+        """Commitment to the policy (bound into aggregation journals)."""
+        return hash_many(
+            "repro/core/policy",
+            [f"{field}={self.op_for(field).value}".encode("utf-8")
+             for field in POLICY_FIELDS],
+        )
+
+
+DEFAULT_POLICY = AggregationPolicy()
+
+# §4's literal example: sum everything, including loss counts.
+SUM_ALL_POLICY = AggregationPolicy(
+    packets=AggOp.SUM, octets=AggOp.SUM,
+    lost_packets=AggOp.SUM, hop_count=AggOp.SUM,
+)

@@ -1,0 +1,183 @@
+"""The service provider's prover (Figure 1, left).
+
+Owns the authoritative CLog state and the proof chain; pulls committed
+router windows from the shared store, runs aggregation rounds, and
+answers client queries with proofs.  Aggregation is decoupled from both
+logging and queries (§1, §4): it reads only *already committed* windows
+and can run off-path, at whatever cadence resources allow.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from ..commitments import BulletinBoard
+from ..errors import MissingCommitment, ProofError
+from ..storage.backend import LogStore
+from ..zkvm import ProveInfo, ProverOpts
+from .aggregation import (
+    AggregationResult,
+    Aggregator,
+    RouterWindowInput,
+)
+from .chain import AggregationChain, ChainLink
+from .clog import CLogState
+from .policy import DEFAULT_POLICY, AggregationPolicy
+from .query_proof import QueryProver, QueryResponse
+
+logger = logging.getLogger(__name__)
+
+
+class ProverService:
+    """Aggregates committed telemetry and answers verifiable queries."""
+
+    def __init__(self, store: LogStore, bulletin: BulletinBoard,
+                 policy: AggregationPolicy = DEFAULT_POLICY,
+                 prover_opts: ProverOpts | None = None,
+                 strategy: str = "update",
+                 retain_history: bool = False) -> None:
+        self.store = store
+        self.bulletin = bulletin
+        self.policy = policy
+        self.state = CLogState()
+        self.chain = AggregationChain()
+        self.retain_history = retain_history
+        self._history: dict[int, CLogState] = {}
+        if strategy == "update":
+            self._aggregator = Aggregator(policy, prover_opts)
+        elif strategy == "rebuild":
+            from .rebuild import RebuildAggregator
+            self._aggregator = RebuildAggregator(policy, prover_opts)
+        else:
+            raise ProofError(
+                f"unknown aggregation strategy {strategy!r}; "
+                "expected 'update' or 'rebuild'")
+        self.strategy = strategy
+        self._query_prover = QueryProver(prover_opts)
+        self._aggregated_windows: set[int] = set()
+        self._query_cache: dict[tuple[str, int], QueryResponse] = {}
+        self.last_prove_info: ProveInfo | None = None
+
+    @property
+    def aggregated_windows(self) -> frozenset[int]:
+        """Window indices already consumed by a proven round."""
+        return frozenset(self._aggregated_windows)
+
+    # -- aggregation ------------------------------------------------------------
+
+    def gather_window(self, window_index: int) -> list[RouterWindowInput]:
+        """Collect every router's committed blobs for one window.
+
+        Routers with stored rows but no published commitment raise
+        :class:`~repro.errors.MissingCommitment` — uncommitted data must
+        never enter an aggregation round.
+        """
+        inputs = []
+        for router_id in self.store.router_ids():
+            if window_index not in self.store.window_indices(router_id):
+                continue
+            commitment = self.bulletin.get(router_id, window_index)
+            blobs = tuple(self.store.window_blobs(router_id, window_index))
+            inputs.append(RouterWindowInput(
+                router_id=router_id,
+                window_index=window_index,
+                commitment=commitment.digest,
+                blobs=blobs,
+            ))
+        if not inputs:
+            raise MissingCommitment(
+                f"no router has data for window {window_index}")
+        return inputs
+
+    def aggregate_window(self, window_index: int) -> AggregationResult:
+        """Run one aggregation round over one committed window."""
+        return self.aggregate_windows([window_index])
+
+    def aggregate_windows(self,
+                          window_indices: list[int]) -> AggregationResult:
+        """Run one aggregation round over several windows at once."""
+        inputs: list[RouterWindowInput] = []
+        for window_index in sorted(window_indices):
+            if window_index in self._aggregated_windows:
+                raise ProofError(
+                    f"window {window_index} was already aggregated")
+            inputs.extend(self.gather_window(window_index))
+        prev_receipt = self.chain.latest_receipt if len(self.chain) \
+            else None
+        result = self._aggregator.aggregate(self.state, inputs,
+                                            prev_receipt)
+        # Commit the round only after the proof exists.
+        self.state = result.new_state
+        if self.retain_history:
+            self._history[result.round] = result.new_state
+        self.chain.append(ChainLink(
+            round=result.round,
+            receipt=result.receipt,
+            new_root=result.new_root,
+            size=len(result.new_state),
+            record_count=result.record_count,
+        ))
+        self._aggregated_windows.update(window_indices)
+        self.last_prove_info = result.info
+        logger.info(
+            "round %d proven: windows=%s records=%d flows=%d root=%s…",
+            result.round, sorted(window_indices), result.record_count,
+            len(result.new_state), result.new_root.short())
+        return result
+
+    def aggregate_all_committed(self) -> list[AggregationResult]:
+        """Aggregate every committed-but-unaggregated window, in order."""
+        results = []
+        for window_index in self.bulletin.windows():
+            if window_index not in self._aggregated_windows:
+                results.append(self.aggregate_window(window_index))
+        return results
+
+    # -- queries -------------------------------------------------------------------
+
+    def answer_query(self, sql: str,
+                     round_index: int | None = None,
+                     use_cache: bool = True) -> QueryResponse:
+        """Prove ``sql`` over an aggregation state (§4.2).
+
+        By default queries run against the latest round.  With
+        ``retain_history=True`` the service keeps every round's state,
+        and ``round_index`` proves the query against that *historical*
+        root — a client auditing round ``n`` verifies the response
+        against round ``n``'s receipt in the chain.
+
+        Proving is deterministic, so identical (sql, round) pairs yield
+        bit-identical receipts — the service caches and replays them
+        unless ``use_cache=False``.
+        """
+        effective_round = round_index if round_index is not None \
+            else (len(self.chain) - 1)
+        cache_key = (sql, effective_round)
+        if use_cache:
+            cached = self._query_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        if round_index is None:
+            state, receipt = self.state, self.chain.latest.receipt
+        else:
+            historical = self._history.get(round_index)
+            if historical is None:
+                raise ProofError(
+                    f"no retained state for round {round_index}; "
+                    "construct the service with retain_history=True")
+            state, receipt = historical, self.chain[round_index].receipt
+        response, info = self._query_prover.prove_query(
+            sql, state, receipt)
+        self.last_prove_info = info
+        self._query_cache[cache_key] = response
+        logger.info(
+            "query proven: %r round=%d matched=%d/%d cycles=%d",
+            sql, response.round, response.matched, response.scanned,
+            info.stats.total_cycles)
+        return response
+
+    def estimate_query(self, sql: str):
+        """Predict the proving cost of ``sql`` without proving it
+        (§7 "Query complexity" — admission control / pricing)."""
+        from .planner import estimate_query_cost
+        return estimate_query_cost(self, sql)

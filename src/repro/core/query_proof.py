@@ -1,0 +1,106 @@
+"""Query proving (§4.2): run a SQL query in the zkVM, bound to the
+latest aggregation claim.
+
+The returned :class:`QueryResponse` is what the provider ships to the
+client: the result values plus an unconditional receipt whose journal
+binds (query text, aggregation root, result).  The client never sees a
+CLog entry — only the public journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ProofError
+from ..hashing import Digest
+from ..zkvm import ExecutorEnvBuilder, ProveInfo, Prover, ProverOpts, Receipt
+from ..zkvm.recursion import resolve
+from .aggregation import make_receipt_binding
+from .clog import CLogState
+from .guest_programs import query_guest
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """What the client receives for a query."""
+
+    sql: str
+    labels: tuple[str, ...]
+    values: tuple[int | float | None, ...]
+    matched: int
+    scanned: int
+    round: int
+    root: Digest
+    receipt: Receipt
+    group_by: str | None = None
+    groups: tuple[tuple[Any, tuple[int | float | None, ...]], ...] = ()
+
+    def value(self, label: str | None = None) -> int | float | None:
+        if self.group_by is not None:
+            raise ProofError("grouped query: read .groups instead")
+        if label is None:
+            if len(self.values) != 1:
+                raise ProofError("query has multiple result columns; "
+                                 "name one")
+            return self.values[0]
+        try:
+            return self.values[self.labels.index(label)]
+        except ValueError:
+            raise ProofError(f"no result column {label!r}") from None
+
+    def as_dict(self) -> dict[str, int | float | None]:
+        if self.group_by is not None:
+            raise ProofError("grouped query: read .groups instead")
+        return dict(zip(self.labels, self.values))
+
+    def group(self, key: Any) -> dict[str, int | float | None]:
+        for group_key, values in self.groups:
+            if group_key == key:
+                return dict(zip(self.labels, values))
+        raise ProofError(f"no group {key!r}")
+
+
+class QueryProver:
+    """Generates query proofs against the current CLog state."""
+
+    def __init__(self, prover_opts: ProverOpts | None = None) -> None:
+        self._prover = Prover(prover_opts or ProverOpts.groth16())
+
+    def prove_query(self, sql: str, state: CLogState,
+                    agg_receipt: Receipt) -> tuple[QueryResponse,
+                                                   ProveInfo]:
+        """Prove ``sql`` over ``state``, which ``agg_receipt`` attests.
+
+        The guest receives the *full* entry set and re-derives the
+        committed root, so the prover cannot hide or substitute entries.
+        """
+        builder = ExecutorEnvBuilder()
+        builder.write({"query": sql, "num_entries": len(state)})
+        builder.write(make_receipt_binding(agg_receipt))
+        for entry in state.entries_in_slot_order():
+            builder.write({"key": entry.key.pack(),
+                           "payload": entry.to_payload()})
+        info = self._prover.prove(query_guest, builder.build())
+        receipt = resolve(info.receipt, agg_receipt)
+        journal = _query_journal(receipt)
+        return QueryResponse(
+            sql=sql,
+            labels=tuple(journal["labels"]),
+            values=tuple(journal["values"]),
+            matched=journal["matched"],
+            scanned=journal["scanned"],
+            round=journal["round"],
+            root=journal["root"],
+            receipt=receipt,
+            group_by=journal.get("group_by"),
+            groups=tuple((key, tuple(values))
+                         for key, values in journal.get("groups", [])),
+        ), info
+
+
+def _query_journal(receipt: Receipt) -> dict[str, Any]:
+    journal = receipt.journal.decode_one()
+    if not isinstance(journal, dict):
+        raise ProofError("query journal is not a dict")
+    return journal

@@ -1,0 +1,142 @@
+"""Tamper injection and the Figure 3 / §6 detection experiment.
+
+§5: "even a single post-commitment modification to a log entry causes a
+mismatch in the hash commitments or break[s] Merkle inclusion
+consistency — both of which invalidate the generated proofs."
+
+These helpers mutate the *stored* raw logs after the router has
+published its commitment — exactly the adversary of the threat model
+(§3: "a malicious service provider may attempt to retroactively modify
+logs") — and :func:`run_tamper_experiment` confirms that proof
+generation subsequently fails.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import GuestAbort, IntegrityError, ReproError, StorageError
+from ..netflow.records import NetFlowRecord
+from ..serialization import decode
+from ..storage.backend import LogStore
+
+
+class TamperKind(enum.Enum):
+    """The post-commitment manipulations the experiment exercises."""
+
+    MODIFY_FIELD = "modify-field"     # rewrite a counter (hide loss, ...)
+    CORRUPT_BYTES = "corrupt-bytes"   # flip raw bytes in the store
+    TRUNCATE = "truncate"             # drop records from a window
+    REORDER = "reorder"               # permute records within a window
+    INJECT = "inject"                 # add records never committed
+
+
+@dataclass(frozen=True)
+class TamperOutcome:
+    """Result of one tamper-then-prove attempt."""
+
+    kind: TamperKind
+    detected: bool
+    error_type: str | None
+    detail: str
+
+    def __str__(self) -> str:
+        status = "DETECTED" if self.detected else "UNDETECTED"
+        return f"[{self.kind.value}] {status}: {self.detail}"
+
+
+# ---------------------------------------------------------------------------
+# Injection primitives
+# ---------------------------------------------------------------------------
+
+def modify_record_field(store: LogStore, router_id: str,
+                        window_index: int, seq: int,
+                        **changes: Any) -> NetFlowRecord:
+    """Decode a stored record, change fields, write it back.
+
+    This is the 'plausible' adversary: the tampered record is perfectly
+    well-formed (e.g. ``lost_packets=0`` to hide an SLA violation); only
+    the hash commitment betrays it.  Returns the tampered record.
+    """
+    blobs = store.window_blobs(router_id, window_index)
+    if not 0 <= seq < len(blobs):
+        raise StorageError(
+            f"no record {seq} in ({router_id!r}, {window_index})")
+    record = NetFlowRecord.from_wire(decode(blobs[seq]))
+    tampered = record.with_updates(**changes)
+    store.overwrite_raw(router_id, window_index, seq,
+                        tampered.to_bytes())
+    return tampered
+
+
+def corrupt_record_bytes(store: LogStore, router_id: str,
+                         window_index: int, seq: int,
+                         byte_index: int = 0) -> None:
+    """Flip one bit of a stored record's raw bytes."""
+    blobs = store.window_blobs(router_id, window_index)
+    if not 0 <= seq < len(blobs):
+        raise StorageError(
+            f"no record {seq} in ({router_id!r}, {window_index})")
+    raw = bytearray(blobs[seq])
+    raw[byte_index % len(raw)] ^= 0x01
+    store.overwrite_raw(router_id, window_index, seq, bytes(raw))
+
+
+def truncate_window(store: LogStore, router_id: str, window_index: int,
+                    keep: int) -> None:
+    """Drop all but the first ``keep`` records of a window."""
+    blobs = store.window_blobs(router_id, window_index)
+    store.replace_window(router_id, window_index, blobs[:keep])
+
+
+def reorder_window(store: LogStore, router_id: str,
+                   window_index: int) -> None:
+    """Swap the first and last records of a window."""
+    blobs = store.window_blobs(router_id, window_index)
+    if len(blobs) < 2:
+        raise StorageError("need at least two records to reorder")
+    blobs[0], blobs[-1] = blobs[-1], blobs[0]
+    store.replace_window(router_id, window_index, blobs)
+
+
+def inject_record(store: LogStore, router_id: str, window_index: int,
+                  record: NetFlowRecord) -> None:
+    """Append a record that was never committed."""
+    blobs = store.window_blobs(router_id, window_index)
+    blobs.append(record.to_bytes())
+    store.replace_window(router_id, window_index, blobs)
+
+
+# ---------------------------------------------------------------------------
+# The experiment harness
+# ---------------------------------------------------------------------------
+
+def run_tamper_experiment(kind: TamperKind,
+                          tamper: Callable[[], None],
+                          prove: Callable[[], Any]) -> TamperOutcome:
+    """Tamper, then attempt to prove; classify the outcome.
+
+    Detection means proof generation *failed* with an integrity-class
+    error (guest abort on hash/Merkle mismatch, commitment errors, or a
+    decode failure on corrupted bytes).  A successful proof after
+    tampering would be a soundness bug.
+    """
+    tamper()
+    try:
+        prove()
+    except (GuestAbort, IntegrityError) as exc:
+        return TamperOutcome(kind=kind, detected=True,
+                             error_type=type(exc).__name__,
+                             detail=str(exc))
+    except ReproError as exc:
+        # e.g. SerializationError when corrupted bytes fail to decode
+        # host-side, before the guest even runs — still a hard failure
+        # of proof generation, i.e. detection.
+        return TamperOutcome(kind=kind, detected=True,
+                             error_type=type(exc).__name__,
+                             detail=f"proof generation failed: {exc}")
+    return TamperOutcome(
+        kind=kind, detected=False, error_type=None,
+        detail="proof generation SUCCEEDED over tampered data")

@@ -1,0 +1,137 @@
+"""Receipt transparency log — public, append-only proof history.
+
+The paper's bulletin board covers *router commitments*; this extends
+the same idea to the provider's *receipts*: every aggregation round's
+claim digest is appended to a Merkle-tree log whose root auditors can
+gossip.  A provider that later rewrites history (forks the chain,
+swaps a round's receipt) can no longer produce inclusion proofs
+consistent with the root auditors already hold — the standard
+certificate-transparency argument applied to telemetry proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ChainError, IntegrityError
+from ..hashing import Digest
+from ..merkle import InclusionProof, MerkleTree
+from ..merkle.hasher import default_hasher
+from ..zkvm import Receipt
+
+
+@dataclass(frozen=True)
+class LogCheckpoint:
+    """A signed-root analogue auditors hold: (size, root)."""
+
+    size: int
+    root: Digest
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"size": self.size, "root": self.root}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "LogCheckpoint":
+        return cls(size=wire["size"], root=wire["root"])
+
+
+class ReceiptTransparencyLog:
+    """Append-only Merkle log of aggregation-receipt claim digests."""
+
+    def __init__(self) -> None:
+        self._tree = MerkleTree()
+        self._claims: list[Digest] = []
+
+    def __len__(self) -> int:
+        return len(self._claims)
+
+    def append(self, receipt: Receipt) -> int:
+        """Append a receipt's claim digest; returns its log index.
+
+        Entries must extend the round sequence — the log refuses a
+        receipt for a round it already holds (history rewriting).
+        """
+        header = next(receipt.journal.values(), None)
+        if isinstance(header, dict) and "round" in header:
+            if header["round"] != len(self._claims):
+                raise ChainError(
+                    f"log holds {len(self._claims)} rounds; cannot "
+                    f"append round {header['round']}")
+        claim_digest = receipt.claim.digest()
+        leaf = default_hasher().leaf(claim_digest.raw)
+        index = self._tree.append(leaf)
+        self._claims.append(claim_digest)
+        return index
+
+    @property
+    def root(self) -> Digest:
+        return self._tree.root
+
+    def checkpoint(self) -> LogCheckpoint:
+        """The (size, root) pair an auditor records."""
+        return LogCheckpoint(size=len(self._claims), root=self.root)
+
+    def claim_at(self, index: int) -> Digest:
+        try:
+            return self._claims[index]
+        except IndexError:
+            raise ChainError(f"log has no entry {index}") from None
+
+    def prove_inclusion(self, index: int) -> InclusionProof:
+        """Prove that entry ``index`` is in the current log."""
+        return self._tree.prove(index)
+
+    @staticmethod
+    def verify_inclusion(checkpoint: LogCheckpoint,
+                         claim_digest: Digest,
+                         proof: InclusionProof) -> None:
+        """Auditor-side check: the claim is in the checkpointed log."""
+        expected_leaf = default_hasher().leaf(claim_digest.raw)
+        if proof.leaf != expected_leaf:
+            raise IntegrityError(
+                "inclusion proof does not cover the stated claim")
+        if proof.leaf_index >= checkpoint.size:
+            raise IntegrityError(
+                "inclusion proof points past the checkpointed size")
+        proof.verify(checkpoint.root)
+
+    def prove_consistency(self, old: LogCheckpoint):
+        """A CT-style consistency proof from ``old`` to the current
+        checkpoint (see :mod:`repro.merkle.consistency`)."""
+        if old.size > len(self._claims):
+            raise ChainError(
+                f"cannot prove consistency back to size {old.size}; "
+                f"log only has {len(self._claims)} entries")
+        return self._tree.prove_consistency(old.size)
+
+    @staticmethod
+    def verify_consistency(old: LogCheckpoint, new: LogCheckpoint,
+                           proof) -> None:
+        """Auditor-side: ``new`` extends ``old`` without rewrites."""
+        from ..merkle import verify_consistency as _verify
+        if proof.old_size != old.size or proof.new_size != new.size:
+            raise IntegrityError(
+                "consistency proof sizes do not match the checkpoints")
+        try:
+            _verify(old.root, new.root, proof)
+        except Exception as exc:
+            raise IntegrityError(
+                f"log consistency verification failed: {exc}") from exc
+
+    def consistent_with(self, old: LogCheckpoint) -> bool:
+        """Is an auditor's older checkpoint a prefix of this log?
+
+        Convenience wrapper: builds and checks a real consistency
+        proof (falls back to False on any failure).
+        """
+        if old.size > len(self._claims):
+            return False
+        if old.size == 0:
+            return True
+        try:
+            proof = self.prove_consistency(old)
+            self.verify_consistency(old, self.checkpoint(), proof)
+        except Exception:
+            return False
+        return True

@@ -1,0 +1,131 @@
+"""Exception hierarchy for the verifiable-telemetry library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole family with one clause.  The hierarchy mirrors
+the system's trust boundaries:
+
+* :class:`IntegrityError` and its children signal that *committed data* no
+  longer matches its commitment — the situation the paper's Figure 3
+  experiment exercises.
+* :class:`ProofError` and its children signal problems in the zkVM proof
+  pipeline itself (malformed receipts, failed verification, guest aborts).
+* The remaining classes are conventional operational errors (bad queries,
+  storage failures, misconfiguration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or used with invalid parameters."""
+
+
+class SerializationError(ReproError):
+    """A value could not be canonically encoded or decoded."""
+
+
+# ---------------------------------------------------------------------------
+# Integrity failures (tamper evidence)
+# ---------------------------------------------------------------------------
+
+class IntegrityError(ReproError):
+    """Committed data failed an integrity check."""
+
+
+class CommitmentMismatch(IntegrityError):
+    """A raw-log hash does not match its published commitment (Fig. 3)."""
+
+    def __init__(self, router_id: str, window_index: int,
+                 expected: str, actual: str) -> None:
+        self.router_id = router_id
+        self.window_index = window_index
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"hash commitment mismatch for router {router_id!r} window "
+            f"{window_index}: published {expected} != recomputed {actual}"
+        )
+
+
+class MerkleError(IntegrityError):
+    """Generic Merkle-tree failure (bad proof shape, unknown leaf...)."""
+
+
+class MerkleInclusionError(MerkleError):
+    """A Merkle inclusion proof failed to recompute the committed root."""
+
+
+class MissingCommitment(IntegrityError):
+    """No published commitment exists for the requested window."""
+
+
+# ---------------------------------------------------------------------------
+# Proof-pipeline failures
+# ---------------------------------------------------------------------------
+
+class ProofError(ReproError):
+    """Base class for zkVM proving/verification failures."""
+
+
+class GuestAbort(ProofError):
+    """The guest program aborted; no proof can be produced.
+
+    This is how Algorithm 1's ``abort`` lines surface: an integrity check
+    failed *inside* the zkVM, so proof generation stops (the honest prover
+    cannot produce a receipt for a failed execution).
+    """
+
+    def __init__(self, reason: str, cause: Exception | None = None) -> None:
+        self.reason = reason
+        self.cause = cause
+        super().__init__(f"guest aborted: {reason}")
+
+
+class VerificationError(ProofError):
+    """A receipt failed verification."""
+
+
+class ImageIdMismatch(VerificationError):
+    """Receipt was produced by a different guest program than expected."""
+
+
+class JournalMismatch(VerificationError):
+    """Receipt journal does not match the digest bound in the claim."""
+
+
+class SealError(VerificationError):
+    """The cryptographic seal failed to verify."""
+
+
+class ChainError(ProofError):
+    """The aggregation proof chain is broken (§4.1 step 1)."""
+
+
+# ---------------------------------------------------------------------------
+# Operational errors
+# ---------------------------------------------------------------------------
+
+class QueryError(ReproError):
+    """A telemetry query is malformed or unsupported."""
+
+
+class QuerySyntaxError(QueryError):
+    """The SQL-subset parser rejected the query text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class StorageError(ReproError):
+    """The shared log store failed an operation."""
+
+
+class SimulationError(ReproError):
+    """The NetFlow simulator was driven into an invalid state."""

@@ -1,0 +1,160 @@
+"""Consistency proofs: an append-only tree never rewrites its past.
+
+The certificate-transparency primitive, adapted to power-of-two padded
+trees: a prover holding the current tree convinces a verifier who
+remembers an *older* checkpoint ``(old_size, old_root)`` that the
+current tree ``(new_size, new_root)`` extends it — i.e. leaves
+``[0, old_size)`` are unchanged — without the verifier re-reading any
+leaves.
+
+The proof supplies the subtree roots of the maximal aligned blocks
+decomposing ``[0, old_size)`` and ``[old_size, new_size)``.  The
+verifier folds the *same* prefix blocks (plus empty padding) into both
+the old root and — together with the suffix blocks — the new root; if
+both match, collision resistance forces the prefix to be identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import MerkleError
+from ..hashing import Digest
+from .hasher import MerkleHasher, default_hasher
+
+
+def _required_depth(size: int) -> int:
+    depth = 0
+    while (1 << depth) < max(size, 1):
+        depth += 1
+    return depth
+
+
+def aligned_blocks(start: int, end: int) -> list[tuple[int, int]]:
+    """Decompose [start, end) into maximal aligned (level, pos) blocks."""
+    if start < 0 or end < start:
+        raise MerkleError(f"invalid range [{start}, {end})")
+    blocks: list[tuple[int, int]] = []
+    cursor = start
+    while cursor < end:
+        # Largest power-of-two block starting at cursor that fits.
+        level = (cursor & -cursor).bit_length() - 1 if cursor else 63
+        while (1 << level) > end - cursor:
+            level -= 1
+        blocks.append((level, cursor >> level))
+        cursor += 1 << level
+    return blocks
+
+
+@dataclass(frozen=True)
+class ConsistencyProof:
+    """Everything needed to link two checkpoints of one growing tree."""
+
+    old_size: int
+    new_size: int
+    nodes: tuple[tuple[int, int, Digest], ...]  # (level, pos, digest)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.old_size <= self.new_size:
+            raise MerkleError(
+                f"need 0 < old_size <= new_size, got "
+                f"{self.old_size}, {self.new_size}")
+
+    def node_map(self) -> dict[tuple[int, int], Digest]:
+        return {(level, pos): digest
+                for level, pos, digest in self.nodes}
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "old_size": self.old_size,
+            "new_size": self.new_size,
+            "nodes": [[level, pos, digest]
+                      for level, pos, digest in self.nodes],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ConsistencyProof":
+        return cls(old_size=wire["old_size"], new_size=wire["new_size"],
+                   nodes=tuple((level, pos, digest)
+                               for level, pos, digest in wire["nodes"]))
+
+
+def _empty_roots(hasher: MerkleHasher) -> list[Digest]:
+    from .tree import _empty_roots as tree_empty_roots
+    return tree_empty_roots(hasher)
+
+
+def verify_consistency(old_root: Digest, new_root: Digest,
+                       proof: ConsistencyProof,
+                       hasher: MerkleHasher | None = None) -> None:
+    """Raise :class:`MerkleError` unless ``new`` extends ``old``.
+
+    Both roots are recomputed exclusively from the proof's block nodes
+    plus canonical empty-subtree digests, so a proof that validates
+    binds leaves ``[0, old_size)`` identically in both trees.
+    """
+    h = hasher or default_hasher()
+    empty = _empty_roots(h)
+    nodes = proof.node_map()
+    # Only the canonical decomposition positions may be consulted.  A
+    # laxer rule ("any provided node covering a full block") would let
+    # a malicious prover supply a single forged high-level node that
+    # the new-root recursion uses *instead of* descending to the prefix
+    # blocks — decoupling the two root computations entirely.
+    allowed = set(aligned_blocks(0, proof.old_size)) \
+        | set(aligned_blocks(proof.old_size, proof.new_size))
+    if set(nodes) - allowed:
+        raise MerkleError(
+            "consistency proof contains nodes outside the canonical "
+            "block decomposition")
+
+    def range_root(level: int, pos: int, size: int) -> Digest:
+        start = pos << level
+        if start >= size:
+            return empty[level]
+        if (level, pos) in allowed and start + (1 << level) <= size:
+            provided = nodes.get((level, pos))
+            if provided is None:
+                raise MerkleError(
+                    f"consistency proof is missing the node for block "
+                    f"({level}, {pos})")
+            return provided
+        if level == 0:
+            raise MerkleError(
+                f"consistency proof is missing the node covering "
+                f"leaf {start}")
+        return h.node(range_root(level - 1, 2 * pos, size),
+                      range_root(level - 1, 2 * pos + 1, size))
+
+    computed_old = range_root(_required_depth(proof.old_size), 0,
+                              proof.old_size)
+    if computed_old != old_root:
+        raise MerkleError(
+            "consistency proof does not reproduce the old root — "
+            "the log was rewritten")
+    computed_new = range_root(_required_depth(proof.new_size), 0,
+                              proof.new_size)
+    if computed_new != new_root:
+        raise MerkleError(
+            "consistency proof does not reproduce the new root")
+
+
+def prove_consistency(tree: "Any", old_size: int) -> ConsistencyProof:
+    """Build a consistency proof from the *current* tree back to the
+    checkpoint at ``old_size`` (requires ``old_size <= tree.size``).
+
+    Implemented against :class:`repro.merkle.tree.MerkleTree`'s level
+    storage; exposed as ``MerkleTree.prove_consistency``.
+    """
+    new_size = tree.size
+    if not 0 < old_size <= new_size:
+        raise MerkleError(
+            f"old_size {old_size} outside (0, {new_size}]")
+    needed = aligned_blocks(0, old_size) \
+        + aligned_blocks(old_size, new_size)
+    nodes = []
+    for level, pos in needed:
+        nodes.append((level, pos, tree.node_at(level, pos)))
+    return ConsistencyProof(old_size=old_size, new_size=new_size,
+                            nodes=tuple(nodes))

@@ -1,0 +1,55 @@
+"""Pluggable hash strategy for Merkle trees.
+
+The same tree logic runs in two worlds: on the host (plain tagged SHA-256)
+and inside the zkVM guest, where every compression must be charged to the
+cycle meter.  Tree code therefore talks to a :class:`MerkleHasher` rather
+than calling :func:`~repro.hashing.tagged_hash` directly; the guest passes
+a metered implementation (see :mod:`repro.zkvm.guest`).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..hashing import TAG_EMPTY, TAG_LEAF, TAG_NODE, Digest, tagged_hash
+
+
+class MerkleHasher(Protocol):
+    """Strategy interface: how to hash leaves, nodes and empty slots."""
+
+    def leaf(self, data: bytes) -> Digest:
+        """Hash the bytes of a leaf payload."""
+        ...
+
+    def node(self, left: Digest, right: Digest) -> Digest:
+        """Hash the concatenation of two child digests."""
+        ...
+
+    def empty(self) -> Digest:
+        """Digest of an empty (padding) leaf slot."""
+        ...
+
+
+class TaggedMerkleHasher:
+    """Default host-side hasher using domain-separated SHA-256."""
+
+    algorithm = "tagged-sha256"
+
+    def leaf(self, data: bytes) -> Digest:
+        return tagged_hash(TAG_LEAF, data)
+
+    def node(self, left: Digest, right: Digest) -> Digest:
+        return tagged_hash(TAG_NODE, left.raw, right.raw)
+
+    def empty(self) -> Digest:
+        return _EMPTY_LEAF
+
+
+_EMPTY_LEAF = tagged_hash(TAG_EMPTY, b"")
+
+_DEFAULT = TaggedMerkleHasher()
+
+
+def default_hasher() -> TaggedMerkleHasher:
+    """The shared host-side hasher instance."""
+    return _DEFAULT

@@ -1,0 +1,43 @@
+"""NetFlow telemetry substrate.
+
+The paper evaluates against "a custom-built NetFlow simulator that
+emulates a simplified network topology setting on a single machine" (§6):
+4 routers generating NetFlow logs in parallel threads into a shared SQL
+backend, each committing a hash of its log window every 5 seconds.
+
+This package provides all of that plus a faithful NetFlow v9 wire format:
+
+* :mod:`~repro.netflow.records` — flow keys and records (RLogs);
+* :mod:`~repro.netflow.template` / :mod:`~repro.netflow.packet` — the
+  NetFlow v9 export packet format (RFC 3954 style templates + flowsets);
+* :mod:`~repro.netflow.export` / :mod:`~repro.netflow.collector` —
+  exporter and collector endpoints;
+* :mod:`~repro.netflow.topology` — networkx-backed router topologies;
+* :mod:`~repro.netflow.generator` — deterministic traffic generation
+  (Zipf flow sizes, application mix, per-link loss/latency);
+* :mod:`~repro.netflow.simulator` — the multi-router, threaded
+  simulation harness used by the evaluation.
+"""
+
+from .clock import SimClock, WallClock
+from .collector import NetFlowCollector
+from .export import NetFlowExporter
+from .generator import TrafficConfig, TrafficGenerator
+from .records import FlowKey, NetFlowRecord
+from .simulator import NetFlowSimulator, SimulatorConfig
+from .topology import NetworkTopology, RouterInfo
+
+__all__ = [
+    "FlowKey",
+    "NetFlowCollector",
+    "NetFlowExporter",
+    "NetFlowRecord",
+    "NetFlowSimulator",
+    "NetworkTopology",
+    "RouterInfo",
+    "SimClock",
+    "SimulatorConfig",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "WallClock",
+]

@@ -1,0 +1,130 @@
+"""NetFlow v9 collector endpoint.
+
+The collector keeps a per-(source_id, template_id) template cache, parses
+data flowsets against it, buffers data that arrives before its template
+(v9 allows that ordering across packets), and tracks export-sequence gaps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..errors import SerializationError
+from .packet import decode_packet
+from .records import NetFlowRecord
+from .template import Template
+
+
+@dataclass
+class CollectorStats:
+    """Operational counters exposed by the collector."""
+
+    packets: int = 0
+    records: int = 0
+    templates_learned: int = 0
+    buffered_flowsets: int = 0
+    sequence_gaps: int = 0
+    parse_errors: int = 0
+
+
+@dataclass
+class _PendingData:
+    source_id: int
+    template_id: int
+    body: bytes
+    router_id: str
+    sys_uptime_ms: int
+
+
+@dataclass
+class _SourceState:
+    templates: dict[int, Template] = field(default_factory=dict)
+    last_sequence: int | None = None
+
+
+class NetFlowCollector:
+    """Stateful v9 decoder producing :class:`NetFlowRecord` streams."""
+
+    def __init__(self) -> None:
+        self._sources: dict[int, _SourceState] = defaultdict(_SourceState)
+        self._pending: list[_PendingData] = []
+        self.stats = CollectorStats()
+
+    def ingest(self, packet: bytes, *,
+               router_id: str = "") -> list[NetFlowRecord]:
+        """Decode one packet; returns the records parseable *now*.
+
+        Data flowsets whose template is still unknown are buffered and
+        returned by a later ingest call once the template arrives.
+        """
+        header, flowsets = decode_packet(packet)
+        self.stats.packets += 1
+        source = self._sources[header.source_id]
+        if source.last_sequence is not None \
+                and header.sequence != source.last_sequence + 1:
+            self.stats.sequence_gaps += 1
+        source.last_sequence = header.sequence
+        out: list[NetFlowRecord] = []
+        for fs in flowsets:
+            if fs.is_template:
+                for template in Template.decode_all(fs.body):
+                    if template.template_id not in source.templates:
+                        self.stats.templates_learned += 1
+                    source.templates[template.template_id] = template
+                out.extend(self._drain_pending(header.source_id))
+            elif fs.is_data:
+                records = self._parse_data(
+                    source, header.source_id, fs.flowset_id, fs.body,
+                    router_id, header.sys_uptime_ms)
+                out.extend(records)
+        self.stats.records += len(out)
+        return out
+
+    # -- internals ------------------------------------------------------------
+
+    def _parse_data(self, source: _SourceState, source_id: int,
+                    template_id: int, body: bytes, router_id: str,
+                    sys_uptime_ms: int) -> list[NetFlowRecord]:
+        template = source.templates.get(template_id)
+        if template is None:
+            self._pending.append(_PendingData(
+                source_id=source_id, template_id=template_id, body=body,
+                router_id=router_id, sys_uptime_ms=sys_uptime_ms))
+            self.stats.buffered_flowsets += 1
+            return []
+        return self._decode_body(template, body, router_id, sys_uptime_ms)
+
+    def _decode_body(self, template: Template, body: bytes,
+                     router_id: str,
+                     sys_uptime_ms: int) -> list[NetFlowRecord]:
+        records: list[NetFlowRecord] = []
+        rec_len = template.record_length
+        usable = len(body) - (len(body) % rec_len) if rec_len else 0
+        # Trailing bytes < one record are alignment padding.
+        for pos in range(0, usable, rec_len):
+            try:
+                records.append(template.decode_record(
+                    body[pos:pos + rec_len], router_id=router_id,
+                    sys_uptime_ms=sys_uptime_ms))
+            except SerializationError:
+                self.stats.parse_errors += 1
+        return records
+
+    def _drain_pending(self, source_id: int) -> list[NetFlowRecord]:
+        source = self._sources[source_id]
+        still_pending: list[_PendingData] = []
+        drained: list[NetFlowRecord] = []
+        for pending in self._pending:
+            if pending.source_id != source_id:
+                still_pending.append(pending)
+                continue
+            template = source.templates.get(pending.template_id)
+            if template is None:
+                still_pending.append(pending)
+                continue
+            drained.extend(self._decode_body(
+                template, pending.body, pending.router_id,
+                pending.sys_uptime_ms))
+        self._pending = still_pending
+        return drained

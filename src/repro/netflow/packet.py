@@ -1,0 +1,101 @@
+"""NetFlow v9 export packets (RFC 3954 §4).
+
+A packet is a 20-byte header followed by flowsets.  Flowset id 0 carries
+templates; ids ≥ 256 carry data records parsed with the matching
+template.  Flowsets are padded to 4-byte boundaries, as the RFC requires.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import SerializationError
+
+NETFLOW_V9_VERSION = 9
+HEADER_LEN = 20
+TEMPLATE_FLOWSET_ID = 0
+MIN_DATA_FLOWSET_ID = 256
+
+
+@dataclass(frozen=True)
+class PacketHeader:
+    """NetFlow v9 packet header."""
+
+    count: int
+    sys_uptime_ms: int
+    unix_secs: int
+    sequence: int
+    source_id: int
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            ">HHIIII",
+            NETFLOW_V9_VERSION,
+            self.count & 0xFFFF,
+            self.sys_uptime_ms & 0xFFFFFFFF,
+            self.unix_secs & 0xFFFFFFFF,
+            self.sequence & 0xFFFFFFFF,
+            self.source_id & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PacketHeader":
+        if len(data) < HEADER_LEN:
+            raise SerializationError("packet shorter than v9 header")
+        version, count, uptime, secs, seq, source = \
+            struct.unpack_from(">HHIIII", data, 0)
+        if version != NETFLOW_V9_VERSION:
+            raise SerializationError(
+                f"not a NetFlow v9 packet (version {version})")
+        return cls(count=count, sys_uptime_ms=uptime, unix_secs=secs,
+                   sequence=seq, source_id=source)
+
+
+@dataclass(frozen=True)
+class FlowSet:
+    """One flowset: id plus body (template records or data records)."""
+
+    flowset_id: int
+    body: bytes
+
+    @property
+    def is_template(self) -> bool:
+        return self.flowset_id == TEMPLATE_FLOWSET_ID
+
+    @property
+    def is_data(self) -> bool:
+        return self.flowset_id >= MIN_DATA_FLOWSET_ID
+
+
+def encode_packet(header: PacketHeader,
+                  flowsets: Iterable[FlowSet]) -> bytes:
+    """Serialize header + flowsets with 4-byte alignment padding."""
+    out = bytearray(header.encode())
+    for fs in flowsets:
+        padded_len = 4 + len(fs.body)
+        padding = (-padded_len) % 4
+        out.extend(struct.pack(">HH", fs.flowset_id, padded_len + padding))
+        out.extend(fs.body)
+        out.extend(b"\x00" * padding)
+    return bytes(out)
+
+
+def decode_packet(data: bytes) -> tuple[PacketHeader, list[FlowSet]]:
+    """Parse a packet into its header and raw flowsets."""
+    header = PacketHeader.decode(data)
+    flowsets: list[FlowSet] = []
+    pos = HEADER_LEN
+    while pos < len(data):
+        if pos + 4 > len(data):
+            raise SerializationError("truncated flowset header")
+        flowset_id, length = struct.unpack_from(">HH", data, pos)
+        if length < 4:
+            raise SerializationError(f"flowset length {length} too small")
+        if pos + length > len(data):
+            raise SerializationError("flowset extends past packet end")
+        flowsets.append(FlowSet(flowset_id=flowset_id,
+                                body=data[pos + 4:pos + length]))
+        pos += length
+    return header, flowsets

@@ -1,0 +1,241 @@
+"""NetFlow v9 templates (RFC 3954 §5).
+
+Version 9 is template-based: an exporter first announces a *template* —
+an ordered list of (field type, length) pairs — and then ships data
+flowsets that the collector can only parse with that template.  We
+implement the standard field-type registry (the subset our records carry)
+plus four vendor-extension fields for the performance metrics the paper's
+scenarios query (hop count, loss, RTT, jitter).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import SerializationError
+from .records import FlowKey, NetFlowRecord
+
+
+class FieldType(enum.IntEnum):
+    """NetFlow v9 field types (IANA numbers; 40000+ are our extensions)."""
+
+    IN_BYTES = 1
+    IN_PKTS = 2
+    PROTOCOL = 4
+    TCP_FLAGS = 6
+    L4_SRC_PORT = 7
+    IPV4_SRC_ADDR = 8
+    INPUT_SNMP = 10
+    L4_DST_PORT = 11
+    IPV4_DST_ADDR = 12
+    OUTPUT_SNMP = 14
+    IPV4_NEXT_HOP = 15
+    LAST_SWITCHED = 21
+    FIRST_SWITCHED = 22
+    # Vendor extensions (paper scenarios: SLA & neutrality metrics).
+    EXT_HOP_COUNT = 40001
+    EXT_LOST_PKTS = 40002
+    EXT_RTT_US = 40003
+    EXT_JITTER_US = 40004
+
+
+@dataclass(frozen=True)
+class TemplateField:
+    """One (type, length) pair of a template record."""
+
+    field_type: FieldType
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length not in (1, 2, 4, 8):
+            raise SerializationError(
+                f"unsupported field length {self.length}")
+
+
+@dataclass(frozen=True)
+class Template:
+    """An ordered v9 template with a collector-scoped id (> 255)."""
+
+    template_id: int
+    fields: tuple[TemplateField, ...]
+
+    def __post_init__(self) -> None:
+        if not 256 <= self.template_id <= 0xFFFF:
+            raise SerializationError(
+                f"template id {self.template_id} must be in [256, 65535]")
+        if not self.fields:
+            raise SerializationError("template needs at least one field")
+
+    @property
+    def record_length(self) -> int:
+        return sum(f.length for f in self.fields)
+
+    # -- template flowset body (id 0) ----------------------------------------
+
+    def encode(self) -> bytes:
+        """Template record: id, field count, then (type, length) pairs."""
+        out = bytearray(struct.pack(">HH", self.template_id,
+                                    len(self.fields)))
+        for f in self.fields:
+            out.extend(struct.pack(">HH", int(f.field_type), f.length))
+        return bytes(out)
+
+    @classmethod
+    def decode_all(cls, body: bytes) -> Iterator["Template"]:
+        """Parse every template record in a template flowset body."""
+        pos = 0
+        while pos + 4 <= len(body):
+            template_id, count = struct.unpack_from(">HH", body, pos)
+            if template_id == 0 and count == 0:
+                break  # padding
+            pos += 4
+            fields = []
+            for _ in range(count):
+                if pos + 4 > len(body):
+                    raise SerializationError("truncated template record")
+                ftype, flen = struct.unpack_from(">HH", body, pos)
+                pos += 4
+                try:
+                    fields.append(TemplateField(FieldType(ftype), flen))
+                except ValueError as exc:
+                    raise SerializationError(
+                        f"unknown field type {ftype}") from exc
+            yield cls(template_id=template_id, fields=tuple(fields))
+
+    # -- data record encode/decode -----------------------------------------------
+
+    def encode_record(self, record: NetFlowRecord, *,
+                      sys_uptime_ms: int = 0) -> bytes:
+        """Pack a record's fields in template order."""
+        out = bytearray()
+        for f in self.fields:
+            value = _field_value(record, f.field_type, sys_uptime_ms)
+            # Counters and uptime-relative timestamps wrap, as on real
+            # exporters (32-bit sysUptime wraps every ~49.7 days).
+            mask = (1 << (8 * f.length)) - 1
+            out.extend((value & mask).to_bytes(f.length, "big"))
+        return bytes(out)
+
+    def decode_record(self, data: bytes, *, router_id: str = "",
+                      sys_uptime_ms: int = 0) -> NetFlowRecord:
+        """Unpack one record; ``data`` must be exactly record_length."""
+        if len(data) != self.record_length:
+            raise SerializationError(
+                f"data record is {len(data)} bytes, template says "
+                f"{self.record_length}")
+        values: dict[FieldType, int] = {}
+        pos = 0
+        for f in self.fields:
+            values[f.field_type] = int.from_bytes(
+                data[pos:pos + f.length], "big")
+            pos += f.length
+        return _record_from_values(values, router_id, sys_uptime_ms)
+
+
+def _addr_str(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF)
+                    for shift in (24, 16, 8, 0))
+
+
+def _addr_int(addr: str) -> int:
+    parts = addr.split(".")
+    return (int(parts[0]) << 24) | (int(parts[1]) << 16) | \
+        (int(parts[2]) << 8) | int(parts[3])
+
+
+def _field_value(record: NetFlowRecord, field_type: FieldType,
+                 sys_uptime_ms: int) -> int:
+    key = record.key
+    if field_type is FieldType.IN_BYTES:
+        return record.octets
+    if field_type is FieldType.IN_PKTS:
+        return record.packets
+    if field_type is FieldType.PROTOCOL:
+        return key.protocol
+    if field_type is FieldType.TCP_FLAGS:
+        return record.tcp_flags
+    if field_type is FieldType.L4_SRC_PORT:
+        return key.src_port
+    if field_type is FieldType.IPV4_SRC_ADDR:
+        return _addr_int(key.src_addr)
+    if field_type is FieldType.INPUT_SNMP:
+        return record.input_if
+    if field_type is FieldType.L4_DST_PORT:
+        return key.dst_port
+    if field_type is FieldType.IPV4_DST_ADDR:
+        return _addr_int(key.dst_addr)
+    if field_type is FieldType.OUTPUT_SNMP:
+        return record.output_if
+    if field_type is FieldType.IPV4_NEXT_HOP:
+        return _addr_int(record.next_hop)
+    if field_type is FieldType.LAST_SWITCHED:
+        return record.last_switched_ms - sys_uptime_ms
+    if field_type is FieldType.FIRST_SWITCHED:
+        return record.first_switched_ms - sys_uptime_ms
+    if field_type is FieldType.EXT_HOP_COUNT:
+        return record.hop_count
+    if field_type is FieldType.EXT_LOST_PKTS:
+        return record.lost_packets
+    if field_type is FieldType.EXT_RTT_US:
+        return record.rtt_us
+    if field_type is FieldType.EXT_JITTER_US:
+        return record.jitter_us
+    raise SerializationError(f"no encoder for field {field_type!r}")
+
+
+def _record_from_values(values: dict[FieldType, int], router_id: str,
+                        sys_uptime_ms: int) -> NetFlowRecord:
+    def get(ft: FieldType, default: int = 0) -> int:
+        return values.get(ft, default)
+
+    key = FlowKey(
+        src_addr=_addr_str(get(FieldType.IPV4_SRC_ADDR)),
+        dst_addr=_addr_str(get(FieldType.IPV4_DST_ADDR)),
+        src_port=get(FieldType.L4_SRC_PORT),
+        dst_port=get(FieldType.L4_DST_PORT),
+        protocol=get(FieldType.PROTOCOL),
+    )
+    return NetFlowRecord(
+        router_id=router_id,
+        key=key,
+        packets=get(FieldType.IN_PKTS),
+        octets=get(FieldType.IN_BYTES),
+        first_switched_ms=get(FieldType.FIRST_SWITCHED) + sys_uptime_ms,
+        last_switched_ms=get(FieldType.LAST_SWITCHED) + sys_uptime_ms,
+        tcp_flags=get(FieldType.TCP_FLAGS),
+        input_if=get(FieldType.INPUT_SNMP),
+        output_if=get(FieldType.OUTPUT_SNMP),
+        next_hop=_addr_str(get(FieldType.IPV4_NEXT_HOP)),
+        hop_count=get(FieldType.EXT_HOP_COUNT, 1),
+        lost_packets=get(FieldType.EXT_LOST_PKTS),
+        rtt_us=get(FieldType.EXT_RTT_US),
+        jitter_us=get(FieldType.EXT_JITTER_US),
+    )
+
+
+# The template our exporters announce: every field a NetFlowRecord carries.
+STANDARD_TEMPLATE = Template(
+    template_id=300,
+    fields=(
+        TemplateField(FieldType.IPV4_SRC_ADDR, 4),
+        TemplateField(FieldType.IPV4_DST_ADDR, 4),
+        TemplateField(FieldType.L4_SRC_PORT, 2),
+        TemplateField(FieldType.L4_DST_PORT, 2),
+        TemplateField(FieldType.PROTOCOL, 1),
+        TemplateField(FieldType.TCP_FLAGS, 1),
+        TemplateField(FieldType.IN_PKTS, 4),
+        TemplateField(FieldType.IN_BYTES, 4),
+        TemplateField(FieldType.FIRST_SWITCHED, 4),
+        TemplateField(FieldType.LAST_SWITCHED, 4),
+        TemplateField(FieldType.INPUT_SNMP, 2),
+        TemplateField(FieldType.OUTPUT_SNMP, 2),
+        TemplateField(FieldType.IPV4_NEXT_HOP, 4),
+        TemplateField(FieldType.EXT_HOP_COUNT, 2),
+        TemplateField(FieldType.EXT_LOST_PKTS, 4),
+        TemplateField(FieldType.EXT_RTT_US, 4),
+        TemplateField(FieldType.EXT_JITTER_US, 4),
+    ),
+)

@@ -1,0 +1,46 @@
+"""SQL-subset query language over the aggregated CLogs (§4.2, §6).
+
+The paper's example query::
+
+    SELECT SUM(hop_count) FROM clogs
+    WHERE src_ip = "1.1.1.1" AND dst_ip = "9.9.9.9";
+
+This package provides the lexer, recursive-descent parser, typed AST and
+evaluator for that language: aggregate functions (``SUM``, ``COUNT``,
+``AVG``, ``MIN``, ``MAX``), conjunctions/disjunctions of comparisons,
+and an ``IN`` operator over CIDR prefixes (needed by the neutrality
+scenario to group flows by content-provider prefix).  The evaluator runs
+both on the host (planning, tests) and *inside the zkVM guest*, where an
+optional cost hook charges cycles per evaluated node.
+"""
+
+from .ast import (
+    Aggregate,
+    AggFunc,
+    BinaryOp,
+    Comparison,
+    FieldRef,
+    Literal,
+    LogicalOp,
+    PrefixMatch,
+    Query,
+)
+from .evaluator import QueryResult, evaluate
+from .fields import QUERYABLE_FIELDS
+from .parser import parse_query
+
+__all__ = [
+    "AggFunc",
+    "Aggregate",
+    "BinaryOp",
+    "Comparison",
+    "FieldRef",
+    "Literal",
+    "LogicalOp",
+    "PrefixMatch",
+    "QUERYABLE_FIELDS",
+    "Query",
+    "QueryResult",
+    "evaluate",
+    "parse_query",
+]

@@ -1,0 +1,217 @@
+"""Typed AST for the query language.
+
+Every node supports ``to_wire``/``from_wire`` (canonical dict form) so a
+parsed query can be shipped into the zkVM guest as data, and
+``node_count`` so the evaluator can charge cycles proportionally to the
+work per entry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Union
+
+from ..errors import QueryError
+
+
+class AggFunc(enum.Enum):
+    SUM = "SUM"
+    COUNT = "COUNT"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+
+class BinaryOp(enum.Enum):
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+class LogicalOp(enum.Enum):
+    AND = "AND"
+    OR = "OR"
+    NOT = "NOT"
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """A column reference."""
+
+    name: str
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "field", "name": self.name}
+
+    @property
+    def node_count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant (int, float, or string)."""
+
+    value: int | float | str
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "literal", "value": self.value}
+
+    @property
+    def node_count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``field <op> literal``."""
+
+    op: BinaryOp
+    field: FieldRef
+    value: Literal
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "cmp", "op": self.op.value,
+                "field": self.field.to_wire(),
+                "value": self.value.to_wire()}
+
+    @property
+    def node_count(self) -> int:
+        return 1 + self.field.node_count + self.value.node_count
+
+
+@dataclass(frozen=True)
+class PrefixMatch:
+    """``field IN "10.1.0.0/16"`` — CIDR membership."""
+
+    field: FieldRef
+    prefix: str
+    negated: bool = False
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "prefix", "field": self.field.to_wire(),
+                "prefix": self.prefix, "negated": self.negated}
+
+    @property
+    def node_count(self) -> int:
+        return 2 + self.field.node_count
+
+
+@dataclass(frozen=True)
+class Logical:
+    """``a AND b``, ``a OR b`` or ``NOT a``."""
+
+    op: LogicalOp
+    operands: tuple["Predicate", ...]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "logical", "op": self.op.value,
+                "operands": [o.to_wire() for o in self.operands]}
+
+    @property
+    def node_count(self) -> int:
+        return 1 + sum(o.node_count for o in self.operands)
+
+
+Predicate = Union[Comparison, PrefixMatch, Logical]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One select-list term: ``FUNC(field)`` or ``COUNT(*)``."""
+
+    func: AggFunc
+    field: FieldRef | None  # None only for COUNT(*)
+
+    def __post_init__(self) -> None:
+        if self.field is None and self.func is not AggFunc.COUNT:
+            raise QueryError(f"{self.func.value} requires a column")
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "agg", "func": self.func.value,
+                "field": self.field.to_wire() if self.field else None}
+
+    @property
+    def label(self) -> str:
+        column = self.field.name if self.field else "*"
+        return f"{self.func.value}({column})"
+
+    @property
+    def node_count(self) -> int:
+        return 1 + (self.field.node_count if self.field else 0)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full parsed query."""
+
+    aggregates: tuple[Aggregate, ...]
+    where: Predicate | None
+    source: str = "clogs"
+    group_by: FieldRef | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "kind": "query",
+            "aggregates": [a.to_wire() for a in self.aggregates],
+            "where": self.where.to_wire() if self.where else None,
+            "source": self.source,
+            "group_by": self.group_by.to_wire() if self.group_by
+            else None,
+        }
+
+    @property
+    def node_count(self) -> int:
+        total = sum(a.node_count for a in self.aggregates)
+        if self.where is not None:
+            total += self.where.node_count
+        if self.group_by is not None:
+            total += 2  # key extraction + bucket lookup
+        return total
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(a.label for a in self.aggregates)
+
+    @property
+    def is_grouped(self) -> bool:
+        return self.group_by is not None
+
+
+def predicate_from_wire(wire: dict[str, Any] | None) -> Predicate | None:
+    if wire is None:
+        return None
+    kind = wire["kind"]
+    if kind == "cmp":
+        return Comparison(op=BinaryOp(wire["op"]),
+                          field=FieldRef(wire["field"]["name"]),
+                          value=Literal(wire["value"]["value"]))
+    if kind == "prefix":
+        return PrefixMatch(field=FieldRef(wire["field"]["name"]),
+                           prefix=wire["prefix"],
+                           negated=wire["negated"])
+    if kind == "logical":
+        return Logical(op=LogicalOp(wire["op"]),
+                       operands=tuple(predicate_from_wire(o)
+                                      for o in wire["operands"]))
+    raise QueryError(f"unknown predicate kind {kind!r}")
+
+
+def query_from_wire(wire: dict[str, Any]) -> Query:
+    if wire.get("kind") != "query":
+        raise QueryError("not a query wire object")
+    aggregates = tuple(
+        Aggregate(func=AggFunc(a["func"]),
+                  field=FieldRef(a["field"]["name"]) if a["field"] else None)
+        for a in wire["aggregates"]
+    )
+    group_wire = wire.get("group_by")
+    return Query(aggregates=aggregates,
+                 where=predicate_from_wire(wire["where"]),
+                 source=wire["source"],
+                 group_by=FieldRef(group_wire["name"]) if group_wire
+                 else None)

@@ -1,0 +1,231 @@
+"""Query evaluation over CLog entry views.
+
+The evaluator is deliberately free of host-only dependencies so the zkVM
+guest can run it verbatim; the optional ``cost_hook`` receives the number
+of AST nodes evaluated per entry, which the guest maps to cycle charges.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from ..errors import QueryError
+from .ast import (
+    AggFunc,
+    Aggregate,
+    BinaryOp,
+    Comparison,
+    Logical,
+    LogicalOp,
+    Predicate,
+    PrefixMatch,
+    Query,
+)
+
+EntryView = Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Result of one query execution.
+
+    For an ungrouped query, ``values`` holds one value per select-list
+    term.  For ``GROUP BY`` queries, ``values`` is empty and ``groups``
+    holds ``(group_key, per-term values)`` rows sorted by key.
+    """
+
+    labels: tuple[str, ...]
+    values: tuple[int | float | None, ...]
+    matched: int
+    scanned: int
+    group_by: str | None = None
+    groups: tuple[tuple[Any, tuple[int | float | None, ...]], ...] = ()
+
+    def value(self, label: str | None = None) -> int | float | None:
+        """The result for ``label`` (or the only one if unambiguous)."""
+        if self.group_by is not None:
+            raise QueryError(
+                "grouped query: read .groups instead of .value()")
+        if label is None:
+            if len(self.values) != 1:
+                raise QueryError(
+                    f"query has {len(self.values)} result columns; "
+                    "name one")
+            return self.values[0]
+        try:
+            return self.values[self.labels.index(label)]
+        except ValueError:
+            raise QueryError(f"no result column {label!r}") from None
+
+    def as_dict(self) -> dict[str, int | float | None]:
+        if self.group_by is not None:
+            raise QueryError(
+                "grouped query: read .groups instead of .as_dict()")
+        return dict(zip(self.labels, self.values))
+
+    def group(self, key: Any) -> dict[str, int | float | None]:
+        """The per-term values for one group key."""
+        for group_key, values in self.groups:
+            if group_key == key:
+                return dict(zip(self.labels, values))
+        raise QueryError(f"no group {key!r}")
+
+
+def _match_prefix(value: Any, prefix: str) -> bool:
+    try:
+        return ipaddress.IPv4Address(str(value)) in \
+            ipaddress.IPv4Network(prefix)
+    except ValueError:
+        return False
+
+
+_COMPARATORS: dict[BinaryOp, Callable[[Any, Any], bool]] = {
+    BinaryOp.EQ: lambda a, b: a == b,
+    BinaryOp.NE: lambda a, b: a != b,
+    BinaryOp.LT: lambda a, b: a < b,
+    BinaryOp.LE: lambda a, b: a <= b,
+    BinaryOp.GT: lambda a, b: a > b,
+    BinaryOp.GE: lambda a, b: a >= b,
+}
+
+
+def _field_value(entry: EntryView, name: str) -> Any:
+    try:
+        return entry[name]
+    except KeyError:
+        raise QueryError(f"entry view is missing column {name!r}") from None
+
+
+def evaluate_predicate(predicate: Predicate | None,
+                       entry: EntryView) -> bool:
+    """Does ``entry`` satisfy the predicate?"""
+    if predicate is None:
+        return True
+    if isinstance(predicate, Comparison):
+        actual = _field_value(entry, predicate.field.name)
+        expected = predicate.value.value
+        try:
+            return _COMPARATORS[predicate.op](actual, expected)
+        except TypeError as exc:
+            raise QueryError(
+                f"cannot compare {predicate.field.name} "
+                f"({type(actual).__name__}) with "
+                f"{type(expected).__name__}") from exc
+    if isinstance(predicate, PrefixMatch):
+        matched = _match_prefix(
+            _field_value(entry, predicate.field.name), predicate.prefix)
+        return matched != predicate.negated
+    if isinstance(predicate, Logical):
+        if predicate.op is LogicalOp.AND:
+            return all(evaluate_predicate(o, entry)
+                       for o in predicate.operands)
+        if predicate.op is LogicalOp.OR:
+            return any(evaluate_predicate(o, entry)
+                       for o in predicate.operands)
+        return not evaluate_predicate(predicate.operands[0], entry)
+    raise QueryError(f"unknown predicate {type(predicate).__name__}")
+
+
+class _Accumulator:
+    """Streaming accumulator for one aggregate term."""
+
+    __slots__ = ("aggregate", "count", "total", "minimum", "maximum")
+
+    def __init__(self, aggregate: Aggregate) -> None:
+        self.aggregate = aggregate
+        self.count = 0
+        self.total: int | float = 0
+        self.minimum: int | float | None = None
+        self.maximum: int | float | None = None
+
+    def feed(self, entry: EntryView) -> None:
+        self.count += 1
+        field = self.aggregate.field
+        if field is None:
+            return
+        value = _field_value(entry, field.name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise QueryError(
+                f"cannot aggregate non-numeric column {field.name!r}")
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def result(self) -> int | float | None:
+        func = self.aggregate.func
+        if func is AggFunc.COUNT:
+            return self.count
+        if self.count == 0:
+            return None
+        if func is AggFunc.SUM:
+            return self.total
+        if func is AggFunc.AVG:
+            return self.total / self.count
+        if func is AggFunc.MIN:
+            return self.minimum
+        if func is AggFunc.MAX:
+            return self.maximum
+        raise QueryError(f"unknown aggregate {func!r}")
+
+
+def evaluate(query: Query, entries: Iterable[EntryView],
+             cost_hook: Callable[[int], None] | None = None) -> QueryResult:
+    """Run ``query`` over entry views.
+
+    ``cost_hook(nodes)`` is invoked once per scanned entry with the
+    number of AST nodes its evaluation touched; the zkVM guest uses it to
+    charge compute cycles.
+    """
+    per_entry_nodes = query.node_count
+    matched = 0
+    scanned = 0
+    if query.group_by is None:
+        accumulators = [_Accumulator(a) for a in query.aggregates]
+        for entry in entries:
+            scanned += 1
+            if cost_hook is not None:
+                cost_hook(per_entry_nodes)
+            if not evaluate_predicate(query.where, entry):
+                continue
+            matched += 1
+            for accumulator in accumulators:
+                accumulator.feed(entry)
+        return QueryResult(
+            labels=query.labels,
+            values=tuple(a.result() for a in accumulators),
+            matched=matched,
+            scanned=scanned,
+        )
+    # GROUP BY: one accumulator row per distinct key.
+    group_field = query.group_by.name
+    buckets: dict[Any, list[_Accumulator]] = {}
+    for entry in entries:
+        scanned += 1
+        if cost_hook is not None:
+            cost_hook(per_entry_nodes)
+        if not evaluate_predicate(query.where, entry):
+            continue
+        matched += 1
+        key = _field_value(entry, group_field)
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = [_Accumulator(a) for a in query.aggregates]
+            buckets[key] = bucket
+        for accumulator in bucket:
+            accumulator.feed(entry)
+    groups = tuple(
+        (key, tuple(a.result() for a in buckets[key]))
+        for key in sorted(buckets, key=lambda k: (str(type(k)), k))
+    )
+    return QueryResult(
+        labels=query.labels,
+        values=(),
+        matched=matched,
+        scanned=scanned,
+        group_by=group_field,
+        groups=groups,
+    )

@@ -1,0 +1,45 @@
+"""The queryable schema of a CLog entry.
+
+Each field maps to how it is extracted from an entry's *query view*
+(a plain ``str -> int|str|float`` dict produced by
+:meth:`repro.core.clog.CLogEntry.query_view`).  Keeping the schema in one
+table lets the parser reject unknown columns at parse time rather than
+deep inside the guest.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FieldKind(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    ADDR = "addr"   # IPv4 dotted string; comparable for equality / CIDR
+    STR = "str"
+
+
+# column name -> kind
+QUERYABLE_FIELDS: dict[str, FieldKind] = {
+    "src_ip": FieldKind.ADDR,
+    "dst_ip": FieldKind.ADDR,
+    # Derived /16 of the source address ("10.1.0.0/16"): content
+    # providers are prefix-assigned, so GROUP BY src_net16 gives
+    # per-provider aggregation in one query (the neutrality audit).
+    "src_net16": FieldKind.STR,
+    "src_port": FieldKind.INT,
+    "dst_port": FieldKind.INT,
+    "protocol": FieldKind.INT,
+    "packets": FieldKind.INT,
+    "octets": FieldKind.INT,
+    "lost_packets": FieldKind.INT,
+    "hop_count": FieldKind.INT,
+    "record_count": FieldKind.INT,
+    "router_count": FieldKind.INT,
+    "first_ms": FieldKind.INT,
+    "last_ms": FieldKind.INT,
+    "rtt_avg_us": FieldKind.FLOAT,
+    "jitter_avg_us": FieldKind.FLOAT,
+    "loss_rate": FieldKind.FLOAT,
+    "throughput_bps": FieldKind.FLOAT,
+}

@@ -1,0 +1,95 @@
+"""Tokenizer for the query language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import QuerySyntaxError
+
+KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN",
+            "GROUP", "BY", "SUM", "COUNT", "AVG", "MIN", "MAX"}
+
+_PUNCT = {"(", ")", ",", ";", "*"}
+_OPERATOR_CHARS = {"=", "!", "<", ">"}
+_OPERATORS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.text!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize query text; raises :class:`QuerySyntaxError` on junk."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, pos))
+            pos += 1
+            continue
+        if ch in _OPERATOR_CHARS:
+            two = text[pos:pos + 2]
+            if two in _OPERATORS:
+                tokens.append(Token(TokenType.OPERATOR, two, pos))
+                pos += 2
+            elif ch in _OPERATORS:
+                tokens.append(Token(TokenType.OPERATOR, ch, pos))
+                pos += 1
+            else:
+                raise QuerySyntaxError(f"bad operator {two!r}", pos)
+            continue
+        if ch in {'"', "'"}:
+            end = text.find(ch, pos + 1)
+            if end < 0:
+                raise QuerySyntaxError("unterminated string literal", pos)
+            tokens.append(Token(TokenType.STRING, text[pos + 1:end], pos))
+            pos = end + 1
+            continue
+        if ch.isdigit() or (ch == "-" and pos + 1 < length
+                            and text[pos + 1].isdigit()):
+            start = pos
+            pos += 1
+            seen_dot = False
+            while pos < length and (text[pos].isdigit()
+                                    or (text[pos] == "." and not seen_dot)):
+                if text[pos] == ".":
+                    seen_dot = True
+                pos += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:pos], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (text[pos].isalnum()
+                                    or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", pos)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,196 @@
+"""Recursive-descent parser for the query language.
+
+Grammar::
+
+    query      := SELECT agg_list FROM ident [WHERE or_expr]
+                  [GROUP BY ident] [';']
+    agg_list   := aggregate (',' aggregate)*
+    aggregate  := FUNC '(' (ident | '*') ')'
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := unary (AND unary)*
+    unary      := NOT unary | primary
+    primary    := '(' or_expr ')' | ident cmp_tail
+    cmp_tail   := operator literal | [NOT] IN string
+    literal    := number | string
+
+Column names are validated against the CLog schema at parse time.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+from ..errors import QuerySyntaxError
+from .ast import (
+    AggFunc,
+    Aggregate,
+    BinaryOp,
+    Comparison,
+    FieldRef,
+    Literal,
+    Logical,
+    LogicalOp,
+    Predicate,
+    PrefixMatch,
+    Query,
+)
+from .fields import QUERYABLE_FIELDS
+from .lexer import Token, TokenType, tokenize
+
+_AGG_NAMES = {f.value for f in AggFunc}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType,
+                text: str | None = None) -> Token:
+        token = self._peek()
+        if token.type is not token_type or \
+                (text is not None and token.text != text):
+            want = text or token_type.value
+            raise QuerySyntaxError(
+                f"expected {want}, found {token.text or 'end of input'!r}",
+                token.position)
+        return self._advance()
+
+    def _accept(self, token_type: TokenType,
+                text: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.type is token_type and (text is None
+                                         or token.text == text):
+            return self._advance()
+        return None
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        aggregates = [self._aggregate()]
+        while self._accept(TokenType.PUNCT, ","):
+            aggregates.append(self._aggregate())
+        self._expect(TokenType.KEYWORD, "FROM")
+        source = self._expect(TokenType.IDENT).text
+        where = None
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._or_expr()
+        group_by = None
+        if self._accept(TokenType.KEYWORD, "GROUP"):
+            self._expect(TokenType.KEYWORD, "BY")
+            group_by = self._field()
+        self._accept(TokenType.PUNCT, ";")
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise QuerySyntaxError(
+                f"unexpected trailing input {token.text!r}", token.position)
+        return Query(aggregates=tuple(aggregates), where=where,
+                     source=source, group_by=group_by)
+
+    def _aggregate(self) -> Aggregate:
+        token = self._peek()
+        if token.type is not TokenType.KEYWORD \
+                or token.text not in _AGG_NAMES:
+            raise QuerySyntaxError(
+                f"expected aggregate function, found {token.text!r}",
+                token.position)
+        self._advance()
+        func = AggFunc(token.text)
+        self._expect(TokenType.PUNCT, "(")
+        if self._accept(TokenType.PUNCT, "*"):
+            if func is not AggFunc.COUNT:
+                raise QuerySyntaxError(
+                    f"{func.value}(*) is not valid; only COUNT(*)",
+                    token.position)
+            field = None
+        else:
+            field = self._field()
+        self._expect(TokenType.PUNCT, ")")
+        return Aggregate(func=func, field=field)
+
+    def _field(self) -> FieldRef:
+        token = self._expect(TokenType.IDENT)
+        if token.text not in QUERYABLE_FIELDS:
+            raise QuerySyntaxError(
+                f"unknown column {token.text!r}", token.position)
+        return FieldRef(token.text)
+
+    def _or_expr(self) -> Predicate:
+        operands = [self._and_expr()]
+        while self._accept(TokenType.KEYWORD, "OR"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return Logical(op=LogicalOp.OR, operands=tuple(operands))
+
+    def _and_expr(self) -> Predicate:
+        operands = [self._unary()]
+        while self._accept(TokenType.KEYWORD, "AND"):
+            operands.append(self._unary())
+        if len(operands) == 1:
+            return operands[0]
+        return Logical(op=LogicalOp.AND, operands=tuple(operands))
+
+    def _unary(self) -> Predicate:
+        if self._accept(TokenType.KEYWORD, "NOT"):
+            return Logical(op=LogicalOp.NOT,
+                           operands=(self._unary(),))
+        return self._primary()
+
+    def _primary(self) -> Predicate:
+        if self._accept(TokenType.PUNCT, "("):
+            inner = self._or_expr()
+            self._expect(TokenType.PUNCT, ")")
+            return inner
+        field = self._field()
+        negated = bool(self._accept(TokenType.KEYWORD, "NOT"))
+        if self._accept(TokenType.KEYWORD, "IN"):
+            return self._prefix_match(field, negated)
+        if negated:
+            token = self._peek()
+            raise QuerySyntaxError("NOT must be followed by IN here",
+                                   token.position)
+        op_token = self._expect(TokenType.OPERATOR)
+        return Comparison(op=BinaryOp(op_token.text), field=field,
+                          value=self._literal())
+
+    def _prefix_match(self, field: FieldRef, negated: bool) -> PrefixMatch:
+        token = self._expect(TokenType.STRING)
+        try:
+            ipaddress.IPv4Network(token.text)
+        except ValueError as exc:
+            raise QuerySyntaxError(
+                f"invalid CIDR prefix {token.text!r}",
+                token.position) from exc
+        return PrefixMatch(field=field, prefix=token.text, negated=negated)
+
+    def _literal(self) -> Literal:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.text:
+                return Literal(float(token.text))
+            return Literal(int(token.text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.text)
+        raise QuerySyntaxError(
+            f"expected literal, found {token.text or 'end of input'!r}",
+            token.position)
+
+
+def parse_query(text: str) -> Query:
+    """Parse query text into a :class:`~repro.query.ast.Query`."""
+    return _Parser(tokenize(text)).parse()

@@ -1,0 +1,44 @@
+"""Shared hashing utilities for the sketch family.
+
+Sketch hash functions are derived from tagged SHA-256 with a per-sketch
+seed and per-row index, giving deterministic, independent-enough hash
+rows without any randomness at runtime (determinism is load-bearing:
+sketch states are hash-committed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import ConfigurationError
+
+
+def row_hash(seed: int, row: int, item: bytes) -> int:
+    """A 64-bit hash of ``item`` for hash-row ``row``."""
+    h = hashlib.sha256()
+    h.update(b"repro/sketch")
+    h.update(seed.to_bytes(8, "big", signed=True))
+    h.update(row.to_bytes(4, "big"))
+    h.update(item)
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def check_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def item_bytes(item: bytes | str | int) -> bytes:
+    """Normalise sketch keys to bytes."""
+    if isinstance(item, bytes):
+        return item
+    if isinstance(item, str):
+        return item.encode("utf-8")
+    if isinstance(item, int):
+        width = max(8, (item.bit_length() + 8) // 8)
+        return item.to_bytes(width, "big", signed=True)
+    to_bytes = getattr(item, "to_bytes_key", None)
+    if callable(to_bytes):
+        return to_bytes()
+    raise ConfigurationError(
+        f"cannot sketch items of type {type(item).__name__}")

@@ -1,0 +1,87 @@
+"""Count-Min sketch: conservative frequency estimation.
+
+Estimates never undercount; the overcount is bounded by
+``e/width × total`` with probability ``1 - e^-depth``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..hashing import Digest, hash_many
+from ..serialization import encode
+from .common import check_positive, item_bytes, row_hash
+
+
+class CountMinSketch:
+    """A ``depth × width`` counter matrix with per-row hashing."""
+
+    def __init__(self, width: int = 1024, depth: int = 4,
+                 seed: int = 0) -> None:
+        check_positive("width", width)
+        check_positive("depth", depth)
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self._rows = [[0] * width for _ in range(depth)]
+        self._total = 0
+
+    # -- updates ---------------------------------------------------------------
+
+    def add(self, item: bytes | str | int, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        data = item_bytes(item)
+        for row in range(self.depth):
+            index = row_hash(self.seed, row, data) % self.width
+            self._rows[row][index] += count
+        self._total += count
+
+    # -- queries ------------------------------------------------------------------
+
+    def estimate(self, item: bytes | str | int) -> int:
+        """Point estimate (never an undercount)."""
+        data = item_bytes(item)
+        return min(
+            self._rows[row][row_hash(self.seed, row, data) % self.width]
+            for row in range(self.depth)
+        )
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    # -- merging & commitment ----------------------------------------------------------
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """In-place merge; both sketches must share the configuration."""
+        if (self.width, self.depth, self.seed) != \
+                (other.width, other.depth, other.seed):
+            raise ValueError("cannot merge differently configured sketches")
+        for mine, theirs in zip(self._rows, other._rows):
+            for index, value in enumerate(theirs):
+                mine[index] += value
+        self._total += other._total
+
+    def to_state(self) -> dict[str, Any]:
+        """Canonical state (commitment-friendly)."""
+        return {
+            "kind": "count-min",
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "rows": [list(row) for row in self._rows],
+            "total": self._total,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "CountMinSketch":
+        sketch = cls(width=state["width"], depth=state["depth"],
+                     seed=state["seed"])
+        sketch._rows = [list(row) for row in state["rows"]]
+        sketch._total = state["total"]
+        return sketch
+
+    def digest(self) -> Digest:
+        """The hash a router would commit for this sketch state."""
+        return hash_many("repro/sketch/state", [encode(self.to_state())])

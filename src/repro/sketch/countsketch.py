@@ -1,0 +1,79 @@
+"""Count sketch: unbiased frequency estimation (median of signed rows)."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any
+
+from ..hashing import Digest, hash_many
+from ..serialization import encode
+from .common import check_positive, item_bytes, row_hash
+
+
+class CountSketch:
+    """Signed counter matrix; estimates are medians across rows."""
+
+    def __init__(self, width: int = 1024, depth: int = 5,
+                 seed: int = 0) -> None:
+        check_positive("width", width)
+        check_positive("depth", depth)
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self._rows = [[0] * width for _ in range(depth)]
+        self._total = 0
+
+    def _position(self, row: int, data: bytes) -> tuple[int, int]:
+        value = row_hash(self.seed, row, data)
+        index = (value >> 1) % self.width
+        sign = 1 if value & 1 else -1
+        return index, sign
+
+    def add(self, item: bytes | str | int, count: int = 1) -> None:
+        data = item_bytes(item)
+        for row in range(self.depth):
+            index, sign = self._position(row, data)
+            self._rows[row][index] += sign * count
+        self._total += count
+
+    def estimate(self, item: bytes | str | int) -> int:
+        data = item_bytes(item)
+        values = []
+        for row in range(self.depth):
+            index, sign = self._position(row, data)
+            values.append(sign * self._rows[row][index])
+        return int(statistics.median(values))
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def merge(self, other: "CountSketch") -> None:
+        if (self.width, self.depth, self.seed) != \
+                (other.width, other.depth, other.seed):
+            raise ValueError("cannot merge differently configured sketches")
+        for mine, theirs in zip(self._rows, other._rows):
+            for index, value in enumerate(theirs):
+                mine[index] += value
+        self._total += other._total
+
+    def to_state(self) -> dict[str, Any]:
+        return {
+            "kind": "count-sketch",
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "rows": [list(row) for row in self._rows],
+            "total": self._total,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "CountSketch":
+        sketch = cls(width=state["width"], depth=state["depth"],
+                     seed=state["seed"])
+        sketch._rows = [list(row) for row in state["rows"]]
+        sketch._total = state["total"]
+        return sketch
+
+    def digest(self) -> Digest:
+        return hash_many("repro/sketch/state", [encode(self.to_state())])

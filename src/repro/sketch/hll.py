@@ -1,0 +1,82 @@
+"""HyperLogLog: flow-cardinality estimation.
+
+Standard HLL with the bias-corrected estimator and small/large-range
+corrections; register hashing is the same seeded tagged construction as
+the rest of the sketch family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..hashing import Digest, hash_many
+from ..serialization import encode
+from .common import item_bytes, row_hash
+
+
+def _alpha(m: int) -> float:
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1 + 1.079 / m)
+
+
+class HyperLogLog:
+    """2^precision registers of leading-zero ranks."""
+
+    def __init__(self, precision: int = 12, seed: int = 0) -> None:
+        if not 4 <= precision <= 18:
+            raise ConfigurationError(
+                f"precision must be in [4, 18], got {precision}")
+        self.precision = precision
+        self.seed = seed
+        self._m = 1 << precision
+        self._registers = [0] * self._m
+
+    def add(self, item: bytes | str | int) -> None:
+        value = row_hash(self.seed, 0, item_bytes(item))
+        index = value >> (64 - self.precision)
+        remainder = value & ((1 << (64 - self.precision)) - 1)
+        # Rank: leading zeros of the remainder (within its width) + 1.
+        rank = (64 - self.precision) - remainder.bit_length() + 1
+        if rank > self._registers[index]:
+            self._registers[index] = rank
+
+    def estimate(self) -> float:
+        m = self._m
+        raw = _alpha(m) * m * m / sum(2.0 ** -r for r in self._registers)
+        if raw <= 2.5 * m:
+            zeros = self._registers.count(0)
+            if zeros:
+                return m * math.log(m / zeros)
+        if raw > (1 << 64) / 30.0:
+            return -(1 << 64) * math.log(1 - raw / (1 << 64))
+        return raw
+
+    def merge(self, other: "HyperLogLog") -> None:
+        if (self.precision, self.seed) != (other.precision, other.seed):
+            raise ValueError("cannot merge differently configured HLLs")
+        self._registers = [max(a, b) for a, b in
+                           zip(self._registers, other._registers)]
+
+    def to_state(self) -> dict[str, Any]:
+        return {
+            "kind": "hyperloglog",
+            "precision": self.precision,
+            "seed": self.seed,
+            "registers": list(self._registers),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "HyperLogLog":
+        hll = cls(precision=state["precision"], seed=state["seed"])
+        hll._registers = list(state["registers"])
+        return hll
+
+    def digest(self) -> Digest:
+        return hash_many("repro/sketch/state", [encode(self.to_state())])

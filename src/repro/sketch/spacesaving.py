@@ -1,0 +1,85 @@
+"""Space-Saving: top-k heavy hitters with bounded error.
+
+Maintains at most ``capacity`` (item, count, error) triples; when full,
+a new item evicts the minimum-count entry and inherits its count as
+error bound.  Deterministic eviction (ties broken by item bytes) keeps
+states byte-identical across replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..hashing import Digest, hash_many
+from ..serialization import encode
+from .common import check_positive, item_bytes
+
+
+class SpaceSaving:
+    """Deterministic Space-Saving heavy-hitter summary."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = capacity
+        self._counts: dict[bytes, int] = {}
+        self._errors: dict[bytes, int] = {}
+        self._total = 0
+
+    def add(self, item: bytes | str | int, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        data = item_bytes(item)
+        self._total += count
+        if data in self._counts:
+            self._counts[data] += count
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[data] = count
+            self._errors[data] = 0
+            return
+        victim = min(self._counts, key=lambda k: (self._counts[k], k))
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[data] = floor + count
+        self._errors[data] = floor
+
+    def estimate(self, item: bytes | str | int) -> int:
+        """Upper-bound estimate (0 if never tracked)."""
+        return self._counts.get(item_bytes(item), 0)
+
+    def guaranteed(self, item: bytes | str | int) -> int:
+        """Lower-bound (estimate minus inherited error)."""
+        data = item_bytes(item)
+        return self._counts.get(data, 0) - self._errors.get(data, 0)
+
+    def top(self, k: int) -> list[tuple[bytes, int]]:
+        """The k heaviest tracked items, deterministic order."""
+        ranked = sorted(self._counts.items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def to_state(self) -> dict[str, Any]:
+        items = sorted(self._counts)
+        return {
+            "kind": "space-saving",
+            "capacity": self.capacity,
+            "items": list(items),
+            "counts": [self._counts[i] for i in items],
+            "errors": [self._errors[i] for i in items],
+            "total": self._total,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "SpaceSaving":
+        sketch = cls(capacity=state["capacity"])
+        sketch._counts = dict(zip(state["items"], state["counts"]))
+        sketch._errors = dict(zip(state["items"], state["errors"]))
+        sketch._total = state["total"]
+        return sketch
+
+    def digest(self) -> Digest:
+        return hash_many("repro/sketch/state", [encode(self.to_state())])

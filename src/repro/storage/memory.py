@@ -1,0 +1,72 @@
+"""In-memory log store (dict-backed, thread-safe)."""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+from ..errors import StorageError
+from ..netflow.records import NetFlowRecord
+from .backend import LogStore
+
+
+class MemoryLogStore(LogStore):
+    """The default store for tests and single-process experiments."""
+
+    def __init__(self) -> None:
+        self._rows: dict[tuple[str, int], list[bytes]] = defaultdict(list)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def append_records(self, router_id: str, window_index: int,
+                       records: list[NetFlowRecord]) -> None:
+        self._check_open()
+        blobs = [record.to_bytes() for record in records]
+        with self._lock:
+            self._rows[(router_id, window_index)].extend(blobs)
+
+    def overwrite_raw(self, router_id: str, window_index: int, seq: int,
+                      data: bytes) -> None:
+        self._check_open()
+        with self._lock:
+            rows = self._rows.get((router_id, window_index))
+            if rows is None or not 0 <= seq < len(rows):
+                raise StorageError(
+                    f"no row ({router_id!r}, {window_index}, {seq})")
+            rows[seq] = bytes(data)
+
+    def replace_window(self, router_id: str, window_index: int,
+                       blobs: list[bytes]) -> None:
+        self._check_open()
+        with self._lock:
+            self._rows[(router_id, window_index)] = [bytes(b)
+                                                     for b in blobs]
+
+    def purge_window(self, router_id: str, window_index: int) -> int:
+        self._check_open()
+        with self._lock:
+            rows = self._rows.pop((router_id, window_index), [])
+            return len(rows)
+
+    def window_blobs(self, router_id: str,
+                     window_index: int) -> list[bytes]:
+        self._check_open()
+        with self._lock:
+            return list(self._rows.get((router_id, window_index), []))
+
+    def window_indices(self, router_id: str) -> list[int]:
+        self._check_open()
+        with self._lock:
+            return sorted(w for (r, w) in self._rows if r == router_id)
+
+    def router_ids(self) -> list[str]:
+        self._check_open()
+        with self._lock:
+            return sorted({r for (r, _w) in self._rows})
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")

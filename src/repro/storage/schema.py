@@ -1,0 +1,50 @@
+"""SQL schema for the sqlite-backed log store."""
+
+CREATE_RLOGS = """
+CREATE TABLE IF NOT EXISTS rlogs (
+    router_id    TEXT    NOT NULL,
+    window_index INTEGER NOT NULL,
+    seq          INTEGER NOT NULL,
+    data         BLOB    NOT NULL,
+    PRIMARY KEY (router_id, window_index, seq)
+)
+"""
+
+CREATE_RLOGS_WINDOW_INDEX = """
+CREATE INDEX IF NOT EXISTS idx_rlogs_window
+    ON rlogs (window_index, router_id)
+"""
+
+INSERT_ROW = """
+INSERT INTO rlogs (router_id, window_index, seq, data)
+VALUES (?, ?, ?, ?)
+"""
+
+SELECT_WINDOW_BLOBS = """
+SELECT data FROM rlogs
+WHERE router_id = ? AND window_index = ?
+ORDER BY seq
+"""
+
+SELECT_MAX_SEQ = """
+SELECT COALESCE(MAX(seq), -1) FROM rlogs
+WHERE router_id = ? AND window_index = ?
+"""
+
+UPDATE_ROW = """
+UPDATE rlogs SET data = ?
+WHERE router_id = ? AND window_index = ? AND seq = ?
+"""
+
+DELETE_WINDOW = """
+DELETE FROM rlogs WHERE router_id = ? AND window_index = ?
+"""
+
+SELECT_WINDOW_INDICES = """
+SELECT DISTINCT window_index FROM rlogs
+WHERE router_id = ? ORDER BY window_index
+"""
+
+SELECT_ROUTER_IDS = """
+SELECT DISTINCT router_id FROM rlogs ORDER BY router_id
+"""

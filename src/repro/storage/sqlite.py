@@ -1,0 +1,121 @@
+"""SQLite-backed log store — the offline stand-in for PostgreSQL.
+
+One connection guarded by a lock serves all router threads (sqlite
+serializes writers anyway); WAL mode keeps concurrent reader latency low.
+Rows are keyed ``(router_id, window_index, seq)`` exactly like the
+in-memory store, so the two are interchangeable in every experiment.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+from ..errors import StorageError
+from ..netflow.records import NetFlowRecord
+from . import schema
+from .backend import LogStore
+
+
+class SqliteLogStore(LogStore):
+    """Shared SQL store for raw telemetry logs."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._lock = threading.RLock()
+        try:
+            self._conn = sqlite3.connect(path, check_same_thread=False)
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot open sqlite store {path!r}: "
+                               f"{exc}") from exc
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(schema.CREATE_RLOGS)
+        self._conn.execute(schema.CREATE_RLOGS_WINDOW_INDEX)
+        self._conn.commit()
+        self._closed = False
+
+    def append_records(self, router_id: str, window_index: int,
+                       records: list[NetFlowRecord]) -> None:
+        blobs = [record.to_bytes() for record in records]
+        with self._lock:
+            self._check_open()
+            try:
+                (next_seq,) = self._conn.execute(
+                    schema.SELECT_MAX_SEQ,
+                    (router_id, window_index)).fetchone()
+                next_seq += 1
+                self._conn.executemany(
+                    schema.INSERT_ROW,
+                    [(router_id, window_index, next_seq + i, blob)
+                     for i, blob in enumerate(blobs)])
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                self._conn.rollback()
+                raise StorageError(f"append failed: {exc}") from exc
+
+    def overwrite_raw(self, router_id: str, window_index: int, seq: int,
+                      data: bytes) -> None:
+        with self._lock:
+            self._check_open()
+            cursor = self._conn.execute(
+                schema.UPDATE_ROW, (bytes(data), router_id, window_index,
+                                    seq))
+            self._conn.commit()
+            if cursor.rowcount != 1:
+                raise StorageError(
+                    f"no row ({router_id!r}, {window_index}, {seq})")
+
+    def replace_window(self, router_id: str, window_index: int,
+                       blobs: list[bytes]) -> None:
+        with self._lock:
+            self._check_open()
+            try:
+                self._conn.execute(schema.DELETE_WINDOW,
+                                   (router_id, window_index))
+                self._conn.executemany(
+                    schema.INSERT_ROW,
+                    [(router_id, window_index, seq, bytes(blob))
+                     for seq, blob in enumerate(blobs)])
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                self._conn.rollback()
+                raise StorageError(f"replace failed: {exc}") from exc
+
+    def purge_window(self, router_id: str, window_index: int) -> int:
+        with self._lock:
+            self._check_open()
+            cursor = self._conn.execute(
+                schema.DELETE_WINDOW, (router_id, window_index))
+            self._conn.commit()
+            return cursor.rowcount
+
+    def window_blobs(self, router_id: str,
+                     window_index: int) -> list[bytes]:
+        with self._lock:
+            self._check_open()
+            rows = self._conn.execute(
+                schema.SELECT_WINDOW_BLOBS,
+                (router_id, window_index)).fetchall()
+        return [bytes(row[0]) for row in rows]
+
+    def window_indices(self, router_id: str) -> list[int]:
+        with self._lock:
+            self._check_open()
+            rows = self._conn.execute(
+                schema.SELECT_WINDOW_INDICES, (router_id,)).fetchall()
+        return [row[0] for row in rows]
+
+    def router_ids(self) -> list[str]:
+        with self._lock:
+            self._check_open()
+            rows = self._conn.execute(schema.SELECT_ROUTER_IDS).fetchall()
+        return [row[0] for row in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._conn.close()
+                self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")

@@ -1,0 +1,64 @@
+"""A simulated general-purpose ZKP virtual machine (RISC Zero analogue).
+
+The paper builds on RISC Zero 3.0: guest code (Rust compiled to RISC-V)
+runs inside a zkVM that emits a receipt — journal (public outputs) plus a
+cryptographic seal — proving correct execution.  This package reproduces
+that *system* in Python:
+
+* guest programs are deterministic callables over a restricted
+  :class:`~repro.zkvm.guest.GuestEnv` API mirroring ``risc0_zkvm::guest``
+  (``env::read``, ``env::commit``, ``env::verify``, sha-256 accelerator);
+* execution is metered in cycles and split into 2^20-cycle segments;
+* proving commits to the segment trace, runs a Fiat–Shamir transcript, and
+  produces composite → succinct → Groth16-style receipts (constant
+  256-byte seal);
+* verification recomputes every binding and models the paper's ~3 ms
+  constant-time client check;
+* :mod:`~repro.zkvm.costmodel` converts metered cycles into modeled
+  prover latency, calibrated to the paper's measured points.
+
+**Simulated soundness.**  The seal binds the claim through real SHA-256,
+and all data-integrity failures (hash/Merkle mismatches, journal
+tampering) are genuinely detected — but there is no polynomial commitment
+scheme underneath, so this is not a production SNARK.  See DESIGN.md §6.
+"""
+
+from .costmodel import CostModel, ProverBackend
+from .executor import ExecutionSession, Executor, ExecutorEnvBuilder
+from .guest import GuestAbortSignal, GuestEnv, GuestProgram, guest_program
+from .prover import ProveInfo, Prover, ProverOpts
+from .receipt import (
+    CompositeReceipt,
+    Groth16Receipt,
+    Journal,
+    Receipt,
+    ReceiptClaim,
+    ReceiptKind,
+    SuccinctReceipt,
+)
+from .verifier import VerifiedReceipt, Verifier, verify_receipt
+
+__all__ = [
+    "CompositeReceipt",
+    "CostModel",
+    "ExecutionSession",
+    "Executor",
+    "ExecutorEnvBuilder",
+    "Groth16Receipt",
+    "GuestAbortSignal",
+    "GuestEnv",
+    "GuestProgram",
+    "Journal",
+    "ProveInfo",
+    "Prover",
+    "ProverBackend",
+    "ProverOpts",
+    "Receipt",
+    "ReceiptClaim",
+    "ReceiptKind",
+    "SuccinctReceipt",
+    "VerifiedReceipt",
+    "Verifier",
+    "guest_program",
+    "verify_receipt",
+]

@@ -1,0 +1,235 @@
+"""Guest-side programming model (the analogue of ``risc0_zkvm::guest``).
+
+A *guest program* is a deterministic Python callable ``fn(env)`` that may
+only interact with the world through its :class:`GuestEnv`:
+
+* ``env.read()`` — pop the next host-supplied input value;
+* ``env.commit(value)`` — append a public output to the journal;
+* ``env.sha256`` / ``env.tagged_hash`` / ``env.merkle_hasher()`` — hashing
+  through the metered sha-256 accelerator;
+* ``env.verify(image_id, claim_digest)`` — assume another receipt's claim
+  (recursion / proof composition, used for the aggregation chain);
+* ``env.tick(n)`` — charge generic compute cycles;
+* ``env.abort(reason)`` — the ``abort`` of the paper's Algorithm 1.
+
+Every operation is charged to the cycle meter, so executions have
+deterministic cycle counts that the prover cost model converts into
+modeled proving latency.
+
+The program's *image id* is the digest of its source code and name — the
+binding between a receipt and "which program produced this", like the
+RISC-V ELF image id in RISC Zero.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable
+
+from ..errors import ConfigurationError
+from ..hashing import (
+    TAG_EMPTY,
+    TAG_IMAGE_ID,
+    TAG_LEAF,
+    TAG_NODE,
+    Digest,
+    tagged_hash,
+)
+from ..serialization import decode, encode
+from . import cycles as cy
+from .receipt import Assumption
+
+
+class GuestAbortSignal(Exception):
+    """Internal control-flow signal raised by ``env.abort``.
+
+    The executor converts this into an ``ABORTED`` session; the prover
+    surfaces it as :class:`repro.errors.GuestAbort` — an honest prover
+    cannot emit a receipt for an aborted execution.
+    """
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(reason)
+
+
+class GuestProgram:
+    """A named, content-addressed guest program."""
+
+    def __init__(self, fn: Callable[["GuestEnv"], None],
+                 name: str | None = None) -> None:
+        if not callable(fn):
+            raise ConfigurationError("guest program must be callable")
+        self.fn = fn
+        self.name = name or getattr(fn, "__qualname__", "anonymous")
+        self.image_id = compute_image_id(fn, self.name)
+
+    def __call__(self, env: "GuestEnv") -> None:
+        self.fn(env)
+
+    def __repr__(self) -> str:
+        return f"GuestProgram({self.name!r}, image={self.image_id.short()}...)"
+
+
+def compute_image_id(fn: Callable[..., Any], name: str) -> Digest:
+    """Digest of the guest's source — the receipt↔code binding."""
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):
+        # Lambdas defined in a REPL etc.: fall back to the code object's
+        # bytecode, which is still deterministic for a fixed interpreter.
+        code = getattr(fn, "__code__", None)
+        source = code.co_code.hex() if code is not None else repr(fn)
+    return tagged_hash(TAG_IMAGE_ID, name.encode("utf-8"),
+                       source.encode("utf-8"))
+
+
+def guest_program(name: str | None = None):
+    """Decorator turning a function into a :class:`GuestProgram`."""
+    def wrap(fn: Callable[["GuestEnv"], None]) -> GuestProgram:
+        return GuestProgram(fn, name=name or fn.__name__)
+    return wrap
+
+
+class CycleMeter:
+    """Tracks cycles by category plus the sha-compression count."""
+
+    def __init__(self) -> None:
+        self.total = cy.EXECUTION_BASE_CYCLES
+        self.by_category: dict[str, int] = {"base": cy.EXECUTION_BASE_CYCLES}
+        self.sha_compressions = 0
+
+    def charge(self, amount: int, category: str) -> None:
+        if amount < 0:
+            raise ConfigurationError("cannot charge negative cycles")
+        self.total += amount
+        self.by_category[category] = \
+            self.by_category.get(category, 0) + amount
+
+    def charge_sha(self, num_bytes: int, category: str) -> None:
+        blocks = (num_bytes + 9 + 63) // 64
+        self.sha_compressions += blocks
+        self.charge(blocks * cy.SHA256_COMPRESS_CYCLES, category)
+
+
+class GuestEnv:
+    """Execution environment handed to guest programs."""
+
+    def __init__(self, frames: tuple[bytes, ...]) -> None:
+        self._frames = frames
+        self._frame_pos = 0
+        self._journal = bytearray()
+        self._assumptions: list[Assumption] = []
+        self._meter = CycleMeter()
+
+    # -- I/O -------------------------------------------------------------------
+
+    def read(self) -> Any:
+        """Read the next input value from the host."""
+        if self._frame_pos >= len(self._frames):
+            self.abort("guest read past end of input")
+        frame = self._frames[self._frame_pos]
+        self._frame_pos += 1
+        self._meter.charge(cy.io_cycles(len(frame)), "io")
+        return decode(frame)
+
+    @property
+    def frames_remaining(self) -> int:
+        return len(self._frames) - self._frame_pos
+
+    def commit(self, value: Any) -> None:
+        """Append a public output to the journal."""
+        frame = encode(value)
+        self._meter.charge(cy.io_cycles(len(frame)), "io")
+        # The journal is hashed into the claim; charge the accelerator.
+        self._meter.charge_sha(len(frame), "io")
+        self._journal.extend(frame)
+
+    # -- hashing ------------------------------------------------------------------
+
+    def sha256(self, data: bytes, category: str = "hash") -> Digest:
+        self._meter.charge_sha(len(data), category)
+        from ..hashing import sha256 as _sha256
+        return _sha256(data)
+
+    def tagged_hash(self, tag: str, *parts: bytes,
+                    category: str = "hash") -> Digest:
+        total = sum(len(p) for p in parts)
+        self._meter.charge_sha(total, category)
+        return tagged_hash(tag, *parts)
+
+    def hash_many(self, tag: str, items: list[bytes],
+                  category: str = "hash") -> Digest:
+        """Length-framed multi-item hash (window commitments use this)."""
+        from ..hashing import hash_many as _hash_many
+        total = sum(len(item) + 8 for item in items)
+        self._meter.charge_sha(total, category)
+        return _hash_many(tag, items)
+
+    def merkle_hasher(self, category: str = "merkle") -> "MeteredMerkleHasher":
+        """A Merkle hash strategy whose work is charged to the meter."""
+        return MeteredMerkleHasher(self, category)
+
+    # -- control ---------------------------------------------------------------------
+
+    def tick(self, amount: int, category: str = "compute") -> None:
+        """Charge generic compute cycles (loops, comparisons, arithmetic)."""
+        self._meter.charge(amount, category)
+
+    def abort(self, reason: str) -> None:
+        """Terminate execution; no receipt can be produced (Algorithm 1)."""
+        raise GuestAbortSignal(reason)
+
+    def verify(self, image_id: Digest, claim_digest: Digest) -> None:
+        """Assume another receipt's claim holds (``env::verify``).
+
+        Adds an *assumption* to this execution; the resulting receipt is
+        conditional until the host resolves the assumption against a real
+        verified receipt (see :mod:`repro.zkvm.recursion`).  This is how
+        Algorithm 1 step 1 — "Verify Previous Aggregation" — runs inside
+        the zkVM without re-executing the previous round.
+        """
+        self._meter.charge(cy.ASSUMPTION_CYCLES, "verify")
+        self._assumptions.append(
+            Assumption(claim_digest=claim_digest, image_id=image_id)
+        )
+
+    # -- introspection (host side, after execution) ------------------------------------
+
+    @property
+    def journal_data(self) -> bytes:
+        return bytes(self._journal)
+
+    @property
+    def assumptions(self) -> tuple[Assumption, ...]:
+        return tuple(self._assumptions)
+
+    @property
+    def meter(self) -> CycleMeter:
+        return self._meter
+
+
+class MeteredMerkleHasher:
+    """Merkle hash strategy charging the guest cycle meter.
+
+    Implements the :class:`repro.merkle.hasher.MerkleHasher` protocol with
+    identical digests to the host-side hasher — proofs generated on the
+    host verify inside the guest and vice versa — while every compression
+    is charged to the meter under the given category.
+    """
+
+    algorithm = "tagged-sha256"
+
+    def __init__(self, env: GuestEnv, category: str = "merkle") -> None:
+        self._env = env
+        self._category = category
+
+    def leaf(self, data: bytes) -> Digest:
+        return self._env.tagged_hash(TAG_LEAF, data, category=self._category)
+
+    def node(self, left: Digest, right: Digest) -> Digest:
+        return self._env.tagged_hash(TAG_NODE, left.raw, right.raw,
+                                     category=self._category)
+
+    def empty(self) -> Digest:
+        return tagged_hash(TAG_EMPTY, b"")

@@ -1,0 +1,123 @@
+"""Recursion: receipt compression and assumption resolution.
+
+Two operations from RISC Zero's recursion circuit matter to the system:
+
+* :func:`compress` — turn a composite receipt into a succinct one, or a
+  succinct one into the 256-byte Groth16 wrap.  This is what keeps the
+  "Proof (bytes)" column of Table 1 constant regardless of input size.
+* :func:`resolve` — discharge an assumption recorded by an in-guest
+  ``env.verify``.  The aggregation guest *assumes* the previous round's
+  claim (Algorithm 1 step 1); the host then resolves that assumption
+  against the actual previous receipt, yielding an unconditional receipt.
+  A broken chain (missing or invalid previous receipt) makes resolution
+  fail, so the final receipt simply cannot be produced.
+"""
+
+from __future__ import annotations
+
+from ..errors import ChainError, ProofError
+from .receipt import (
+    GROTH16_SEAL_SIZE,
+    Groth16Receipt,
+    Receipt,
+    ReceiptClaim,
+    ReceiptKind,
+    SUCCINCT_SEAL_SIZE,
+    SuccinctReceipt,
+    expand_seal,
+    groth16_binding,
+    succinct_binding,
+)
+from .verifier import Verifier
+
+_KIND_ORDER = {
+    ReceiptKind.COMPOSITE: 0,
+    ReceiptKind.SUCCINCT: 1,
+    ReceiptKind.GROTH16: 2,
+}
+
+
+def _reseal(claim: ReceiptClaim, kind: ReceiptKind
+            ) -> SuccinctReceipt | Groth16Receipt:
+    if kind is ReceiptKind.SUCCINCT:
+        return SuccinctReceipt(
+            seal=expand_seal(succinct_binding(claim.digest()),
+                             SUCCINCT_SEAL_SIZE))
+    if kind is ReceiptKind.GROTH16:
+        return Groth16Receipt(
+            seal=expand_seal(groth16_binding(claim.digest()),
+                             GROTH16_SEAL_SIZE))
+    raise ProofError(f"cannot reseal to {kind.value}")
+
+
+def compress(receipt: Receipt, target: ReceiptKind) -> Receipt:
+    """Compress a receipt to a smaller kind (composite→succinct→groth16).
+
+    Compression first verifies the source receipt (conditionally — the
+    assumptions, if any, carry over to the compressed claim), then emits
+    the constant-size seal for the same claim.
+    """
+    if _KIND_ORDER[target] < _KIND_ORDER[receipt.kind]:
+        raise ProofError(
+            f"cannot decompress {receipt.kind.value} to {target.value}"
+        )
+    if target is receipt.kind:
+        return receipt
+    Verifier().verify_conditional(receipt, receipt.claim.image_id)
+    inner = _reseal(receipt.claim, target)
+    return Receipt(inner=inner, journal=receipt.journal,
+                   claim=receipt.claim)
+
+
+def resolve(conditional: Receipt, assumption_receipt: Receipt) -> Receipt:
+    """Discharge one assumption of a conditional receipt.
+
+    ``assumption_receipt`` must be an unconditional, fully verifiable
+    receipt whose claim digest matches one of ``conditional``'s recorded
+    assumptions.  Returns a receipt for the same execution with that
+    assumption removed; the seal is re-derived for the new claim.
+    """
+    if conditional.kind is ReceiptKind.COMPOSITE:
+        raise ProofError("compress the conditional receipt before resolving")
+    assumptions = list(conditional.claim.assumptions)
+    if not assumptions:
+        raise ChainError("receipt has no assumptions to resolve")
+    # The assumption receipt must itself verify, unconditionally.
+    target_claim = assumption_receipt.claim
+    Verifier().verify(assumption_receipt, target_claim.image_id)
+    target_digest = target_claim.digest()
+    matches = [a for a in assumptions
+               if a.claim_digest == target_digest
+               and a.image_id == target_claim.image_id]
+    if not matches:
+        raise ChainError(
+            "provided receipt does not match any recorded assumption — "
+            "the proof chain is broken"
+        )
+    assumptions.remove(matches[0])
+    new_claim = ReceiptClaim(
+        image_id=conditional.claim.image_id,
+        input_digest=conditional.claim.input_digest,
+        journal_digest=conditional.claim.journal_digest,
+        exit_code=conditional.claim.exit_code,
+        total_cycles=conditional.claim.total_cycles,
+        segment_count=conditional.claim.segment_count,
+        assumptions=tuple(assumptions),
+    )
+    return Receipt(inner=_reseal(new_claim, conditional.kind),
+                   journal=conditional.journal, claim=new_claim)
+
+
+def resolve_all(conditional: Receipt,
+                assumption_receipts: list[Receipt]) -> Receipt:
+    """Resolve every assumption, in any order; returns an unconditional
+    receipt or raises :class:`~repro.errors.ChainError`."""
+    receipt = conditional
+    for assumption_receipt in assumption_receipts:
+        receipt = resolve(receipt, assumption_receipt)
+    if receipt.claim.assumptions:
+        raise ChainError(
+            f"{len(receipt.claim.assumptions)} assumptions remain "
+            "unresolved after resolution"
+        )
+    return receipt

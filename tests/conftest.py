@@ -1,0 +1,90 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.commitments import BulletinBoard, Commitment, window_digest
+from repro.core.system import SystemConfig, TelemetrySystem
+from repro.netflow import NetworkTopology, TrafficGenerator
+from repro.netflow.generator import TrafficConfig
+from repro.netflow.records import FlowKey, NetFlowRecord
+from repro.storage import MemoryLogStore
+
+
+def make_record(router_id: str = "r1",
+                src: str = "10.1.0.1", dst: str = "172.16.0.9",
+                sport: int = 443, dport: int = 50000, proto: int = 6,
+                **overrides) -> NetFlowRecord:
+    """A valid record with sensible defaults, overridable per test."""
+    defaults = dict(
+        router_id=router_id,
+        key=FlowKey(src_addr=src, dst_addr=dst, src_port=sport,
+                    dst_port=dport, protocol=proto),
+        packets=100,
+        octets=120_000,
+        first_switched_ms=1_000,
+        last_switched_ms=3_000,
+        hop_count=2,
+        lost_packets=1,
+        rtt_us=8_000,
+        jitter_us=400,
+    )
+    defaults.update(overrides)
+    return NetFlowRecord(**defaults)
+
+
+def make_committed_records(n: int, seed: int = 7,
+                           window_index: int = 0
+                           ) -> tuple[MemoryLogStore, BulletinBoard, int]:
+    """Exactly ``n`` generated records, stored and committed in one
+    window across the paper's 4-router topology.
+
+    Returns (store, bulletin, actual record count).
+    """
+    topology = NetworkTopology.paper_eval()
+    generator = TrafficGenerator(topology, TrafficConfig(seed=seed))
+    store = MemoryLogStore()
+    bulletin = BulletinBoard()
+    per_router: dict[str, list[NetFlowRecord]] = {
+        r: [] for r in topology.router_ids()}
+    count = 0
+    while count < n:
+        flow = generator.generate_flow(now_ms=1_000)
+        for record in generator.observe(flow):
+            if count >= n:
+                break
+            per_router[record.router_id].append(record)
+            count += 1
+    for router_id, records in per_router.items():
+        if not records:
+            continue
+        store.append_records(router_id, window_index, records)
+        bulletin.publish(Commitment(
+            router_id=router_id,
+            window_index=window_index,
+            digest=window_digest([r.to_bytes() for r in records]),
+            record_count=len(records),
+            published_at_ms=5_000,
+        ))
+    return store, bulletin, count
+
+
+@pytest.fixture
+def record() -> NetFlowRecord:
+    return make_record()
+
+
+@pytest.fixture
+def small_system() -> TelemetrySystem:
+    """A populated 4-router system with ~3 committed windows."""
+    system = TelemetrySystem(SystemConfig(seed=11, flows_per_tick=5))
+    system.generate(120)
+    return system
+
+
+@pytest.fixture
+def aggregated_system(small_system: TelemetrySystem) -> TelemetrySystem:
+    """small_system with every committed window aggregated."""
+    small_system.aggregate_all()
+    return small_system

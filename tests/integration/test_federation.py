@@ -1,0 +1,100 @@
+"""Integration tests for inter-domain peering reconciliation."""
+
+import pytest
+
+from repro.core.federation import (
+    PeeringAuditor,
+    ReconciliationReport,
+    build_peering_scenario,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_peering_scenario(num_flows=60, seed=11,
+                                  boundary_loss=0.02)
+
+
+class TestHonestReconciliation:
+    def test_conservation_holds_exactly(self, scenario):
+        report = PeeringAuditor(tolerance=0.0).reconcile(scenario)
+        assert report.consistent
+        assert report.gap == 0
+        assert report.flows_a == report.flows_b == 60
+
+    def test_boundary_loss_visible_in_a_chain(self, scenario):
+        """A's proven loss includes the peering-link losses."""
+        response = scenario.domain_a.prover.answer_query(
+            "SELECT SUM(lost_packets), SUM(packets) FROM clogs")
+        lost, packets = response.values
+        assert lost > 0
+        assert lost < packets
+
+    def test_domains_are_isolated(self, scenario):
+        """Each domain's chain covers only its own routers."""
+        for domain, routers in ((scenario.domain_a, {"r1", "r2"}),
+                                (scenario.domain_b, {"r3", "r4"})):
+            header = domain.prover.chain.latest.journal_header
+            assert {w["r"] for w in header["windows"]} == routers
+
+    def test_report_rendering(self, scenario):
+        report = PeeringAuditor().reconcile(scenario)
+        assert "CONSISTENT" in str(report)
+
+
+class TestDisputes:
+    def test_understating_b_breaks_its_own_proofs(self):
+        """B rewrites its ingress logs to claim it received less
+        (billing dispute): B's chain simply cannot be produced."""
+        scenario = build_peering_scenario(num_flows=30, seed=13)
+        from repro.core.tamper import modify_record_field
+        record = scenario.domain_b.store.window_records("r3", 0)[0]
+        modify_record_field(scenario.domain_b.store, "r3", 0, 0,
+                            packets=record.packets // 2,
+                            octets=record.octets // 2)
+        with pytest.raises(Exception):
+            scenario.domain_b.prover.aggregate_all_committed()
+
+    def test_mismatched_claims_flagged(self):
+        """If the two domains genuinely account differently (here: a
+        synthetic gap), the auditor's report says DISPUTED."""
+        report = ReconciliationReport(
+            delivered_by_a=100_000, received_by_b=90_000,
+            flows_a=50, flows_b=50, tolerance=0.01)
+        assert not report.consistent
+        assert report.gap == 10_000
+        assert "DISPUTED" in str(report)
+
+    def test_flow_count_mismatch_flagged(self):
+        report = ReconciliationReport(
+            delivered_by_a=1000, received_by_b=1000,
+            flows_a=10, flows_b=9, tolerance=0.1)
+        assert not report.consistent
+
+    def test_tolerance(self):
+        report = ReconciliationReport(
+            delivered_by_a=100_000, received_by_b=99_950,
+            flows_a=5, flows_b=5, tolerance=0.001)
+        assert report.consistent
+        assert report.relative_gap == pytest.approx(0.0005)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeeringAuditor(tolerance=-1)
+
+
+class TestScenarioConstruction:
+    def test_all_flows_cross_the_boundary(self, scenario):
+        """Every flow appears in both domains (r1 ingress, r4 egress)."""
+        a_flows = {r.key for r in
+                   scenario.domain_a.store.window_records("r1", 0)}
+        b_flows = {r.key for r in
+                   scenario.domain_b.store.window_records("r3", 0)}
+        assert a_flows == b_flows
+
+    def test_wrong_domain_record_rejected(self, scenario):
+        from ..conftest import make_record
+        with pytest.raises(ConfigurationError, match="does not belong"):
+            scenario.domain_a.commit_window(
+                5, [make_record(router_id="r4")])

@@ -1,0 +1,87 @@
+"""Property test: the proven query result always equals host-side
+evaluation over the same CLog state (guest/host lockstep).
+
+This is the system's core functional-correctness invariant: whatever
+SQL a client sends (within the grammar), the value inside the verified
+journal is exactly what a trusted evaluation of the committed dataset
+would return.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.prover_service import ProverService
+from repro.query import evaluate, parse_query
+
+from ..conftest import make_committed_records
+
+NUMERIC = ["packets", "octets", "lost_packets", "hop_count",
+           "record_count"]
+COMPARATORS = ["=", "!=", "<", "<=", ">", ">="]
+FUNCS = ["SUM", "AVG", "MIN", "MAX"]
+
+
+@pytest.fixture(scope="module")
+def service():
+    store, bulletin, _n = make_committed_records(90, seed=29)
+    svc = ProverService(store, bulletin)
+    svc.aggregate_window(0)
+    return svc
+
+
+def sql_queries():
+    aggregate = st.one_of(
+        st.just("COUNT(*)"),
+        st.tuples(st.sampled_from(FUNCS),
+                  st.sampled_from(NUMERIC)).map(
+            lambda t: f"{t[0]}({t[1]})"),
+    )
+    comparison = st.tuples(
+        st.sampled_from(NUMERIC),
+        st.sampled_from(COMPARATORS),
+        st.integers(0, 5_000),
+    ).map(lambda t: f"{t[0]} {t[1]} {t[2]}")
+    prefix = st.sampled_from([
+        'src_ip IN "10.0.0.0/8"',
+        'src_ip IN "10.1.0.0/16"',
+        'src_ip NOT IN "10.2.0.0/16"',
+        'dst_ip IN "172.16.0.0/12"',
+    ])
+    clause = st.one_of(comparison, prefix)
+    where = st.one_of(
+        st.none(),
+        clause,
+        st.tuples(clause, st.sampled_from(["AND", "OR"]), clause).map(
+            lambda t: f"{t[0]} {t[1]} {t[2]}"),
+    )
+    group = st.sampled_from([None, "protocol", "src_net16"])
+
+    def build(aggs, where_clause, group_field):
+        sql = f"SELECT {', '.join(aggs)} FROM clogs"
+        if where_clause:
+            sql += f" WHERE {where_clause}"
+        if group_field:
+            sql += f" GROUP BY {group_field}"
+        return sql
+
+    return st.builds(build,
+                     st.lists(aggregate, min_size=1, max_size=3,
+                              unique=True),
+                     where, group)
+
+
+class TestGuestHostLockstep:
+    @given(sql_queries())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                     HealthCheck.too_slow])
+    def test_proven_result_matches_host_evaluation(self, service, sql):
+        response = service.answer_query(sql)
+        expected = evaluate(parse_query(sql),
+                            service.state.entry_views())
+        assert response.values == expected.values
+        assert response.matched == expected.matched
+        assert response.scanned == expected.scanned
+        assert response.group_by == expected.group_by
+        assert response.groups == expected.groups

@@ -1,0 +1,62 @@
+"""Property tests: canonical serialization invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import Digest
+from repro.serialization import decode, encode
+
+
+def digests():
+    return st.binary(min_size=32, max_size=32).map(Digest)
+
+
+def values(max_leaves: int = 30):
+    scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**100), max_value=2**100),
+        st.binary(max_size=64),
+        st.text(max_size=32),
+        st.floats(allow_nan=False),
+        digests(),
+    )
+    return st.recursive(
+        scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=6),
+            st.dictionaries(st.text(max_size=8), children, max_size=6),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+class TestRoundTrip:
+    @given(values())
+    @settings(max_examples=300)
+    def test_decode_inverts_encode(self, value):
+        assert decode(encode(value)) == value
+
+    @given(values())
+    def test_encoding_deterministic(self, value):
+        assert encode(value) == encode(value)
+
+    @given(st.dictionaries(st.text(max_size=6),
+                           st.integers(), max_size=8))
+    def test_dict_insertion_order_irrelevant(self, mapping):
+        reversed_insertion = dict(reversed(list(mapping.items())))
+        assert encode(mapping) == encode(reversed_insertion)
+
+
+class TestInjectivity:
+    @given(values(max_leaves=10), values(max_leaves=10))
+    @settings(max_examples=300)
+    def test_distinct_values_distinct_encodings(self, a, b):
+        if encode(a) == encode(b):
+            assert a == b
+
+    @given(st.lists(values(max_leaves=5), max_size=5))
+    def test_concatenation_framing_unambiguous(self, items):
+        from repro.serialization import decode_stream
+        stream = b"".join(encode(item) for item in items)
+        assert list(decode_stream(stream)) == items

@@ -1,0 +1,73 @@
+"""Unit tests for the statistics helpers."""
+
+import random
+
+import pytest
+
+from repro.analysis import compare_distributions, percentile, summarize
+from repro.errors import ConfigurationError
+
+
+class TestPercentile:
+    def test_basic_points(self):
+        data = [1, 2, 3, 4, 5]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 50) == 3
+        assert percentile(data, 100) == 5
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_single_sample(self):
+        assert percentile([7], 90) == 7
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 3], 50) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+        with pytest.raises(ConfigurationError):
+            percentile([1], 101)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        rng = random.Random(0)
+        data = [rng.gauss(100, 10) for _ in range(2_000)]
+        summary = summarize(data)
+        assert summary.count == 2_000
+        assert summary.mean == pytest.approx(100, abs=1)
+        assert summary.stdev == pytest.approx(10, abs=1)
+        assert summary.p50 < summary.p90 < summary.p99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestKS:
+    def test_same_distribution_equivalent(self):
+        rng = random.Random(42)
+        a = [rng.gauss(0, 1) for _ in range(400)]
+        b = [rng.gauss(0, 1) for _ in range(400)]
+        verdict = compare_distributions(a, b, alpha=0.01)
+        assert verdict.equivalent
+        assert verdict.p_value > 0.01
+
+    def test_shifted_distribution_detected(self):
+        rng = random.Random(42)
+        a = [rng.gauss(0, 1) for _ in range(400)]
+        b = [rng.gauss(2, 1) for _ in range(400)]
+        verdict = compare_distributions(a, b, alpha=0.01)
+        assert not verdict.equivalent
+        assert verdict.statistic > 0.5
+
+    def test_mean_ratio(self):
+        verdict = compare_distributions([10.0] * 5 + [10.1] * 5,
+                                        [5.0] * 5 + [5.1] * 5)
+        assert verdict.mean_ratio == pytest.approx(2.0, rel=0.02)
+
+    def test_needs_samples(self):
+        with pytest.raises(ConfigurationError):
+            compare_distributions([1.0], [1.0, 2.0])

@@ -1,0 +1,169 @@
+"""Unit tests for CLog entries and state."""
+
+import pytest
+
+from repro.core.clog import CLogEntry, CLogState, entry_view_from_wire
+from repro.core.policy import AggOp, AggregationPolicy, DEFAULT_POLICY
+from repro.errors import ConfigurationError, SerializationError
+
+from ..conftest import make_record
+
+
+class TestEntryConstruction:
+    def test_fresh_copies_record(self):
+        record = make_record()
+        entry = CLogEntry.fresh(record)
+        assert entry.key == record.key
+        assert entry.packets == record.packets
+        assert entry.lost_packets == record.lost_packets
+        assert entry.record_count == 1
+        assert entry.routers == ("r1",)
+
+    def test_merge_applies_policy(self):
+        entry = CLogEntry.fresh(make_record(packets=100, lost_packets=1,
+                                            hop_count=1))
+        merged = entry.merge(
+            make_record(router_id="r2", packets=90, lost_packets=4,
+                        hop_count=2),
+            DEFAULT_POLICY)
+        assert merged.packets == 100        # MAX
+        assert merged.lost_packets == 5     # SUM
+        assert merged.hop_count == 2        # MAX
+        assert merged.record_count == 2
+        assert merged.routers == ("r1", "r2")
+
+    def test_merge_timestamps_and_averages(self):
+        entry = CLogEntry.fresh(make_record(
+            first_switched_ms=1_000, last_switched_ms=3_000,
+            rtt_us=10_000, jitter_us=100))
+        merged = entry.merge(make_record(
+            first_switched_ms=500, last_switched_ms=5_000,
+            rtt_us=20_000, jitter_us=300), DEFAULT_POLICY)
+        assert merged.first_ms == 500
+        assert merged.last_ms == 5_000
+        assert merged.rtt_sum_us == 30_000
+        assert merged.jitter_sum_us == 400
+
+    def test_merge_wrong_key_rejected(self):
+        entry = CLogEntry.fresh(make_record())
+        with pytest.raises(ConfigurationError):
+            entry.merge(make_record(sport=1), DEFAULT_POLICY)
+
+    def test_merge_same_router_no_duplicate(self):
+        entry = CLogEntry.fresh(make_record())
+        merged = entry.merge(make_record(), DEFAULT_POLICY)
+        assert merged.routers == ("r1",)
+
+
+class TestCombine:
+    def test_combine_partial_aggregates(self):
+        a = CLogEntry.fresh(make_record(router_id="r1", lost_packets=2))
+        b = CLogEntry.fresh(make_record(router_id="r2", lost_packets=3))
+        combined = a.combine(b, DEFAULT_POLICY)
+        assert combined.lost_packets == 5
+        assert combined.record_count == 2
+        assert combined.routers == ("r1", "r2")
+
+    def test_combine_is_commutative(self):
+        a = CLogEntry.fresh(make_record(router_id="r1", packets=10))
+        b = CLogEntry.fresh(make_record(router_id="r2", packets=99))
+        assert a.combine(b, DEFAULT_POLICY) == \
+            b.combine(a, DEFAULT_POLICY)
+
+    def test_combine_rejects_last_policy(self):
+        policy = AggregationPolicy(packets=AggOp.LAST)
+        a = CLogEntry.fresh(make_record(router_id="r1"))
+        b = CLogEntry.fresh(make_record(router_id="r2"))
+        with pytest.raises(ConfigurationError, match="associative"):
+            a.combine(b, policy)
+
+    def test_combine_wrong_key(self):
+        a = CLogEntry.fresh(make_record())
+        b = CLogEntry.fresh(make_record(sport=9))
+        with pytest.raises(ConfigurationError):
+            a.combine(b, DEFAULT_POLICY)
+
+
+class TestPayload:
+    def test_payload_roundtrip(self):
+        entry = CLogEntry.fresh(make_record())
+        assert CLogEntry.from_payload(entry.to_payload()) == entry
+
+    def test_payload_changes_with_content(self):
+        a = CLogEntry.fresh(make_record())
+        b = a.merge(make_record(router_id="r2"), DEFAULT_POLICY)
+        assert a.to_payload() != b.to_payload()
+
+    def test_malformed_payload(self):
+        with pytest.raises(SerializationError):
+            CLogEntry.from_payload(b"garbage")
+
+
+class TestQueryView:
+    def test_view_fields(self):
+        entry = CLogEntry.fresh(make_record(
+            packets=90, lost_packets=10, rtt_us=8_000,
+            first_switched_ms=0, last_switched_ms=1_000,
+            octets=125_000))
+        view = entry.query_view()
+        assert view["src_ip"] == entry.key.src_addr
+        assert view["loss_rate"] == pytest.approx(0.1)
+        assert view["rtt_avg_us"] == pytest.approx(8_000)
+        assert view["throughput_bps"] == pytest.approx(1_000_000)
+        assert view["router_count"] == 1
+
+    def test_view_matches_wire_derivation(self):
+        entry = CLogEntry.fresh(make_record())
+        assert entry.query_view() == entry_view_from_wire(entry.to_wire())
+
+    def test_view_has_all_queryable_fields(self):
+        from repro.query.fields import QUERYABLE_FIELDS
+        view = CLogEntry.fresh(make_record()).query_view()
+        assert set(QUERYABLE_FIELDS) <= set(view)
+
+
+class TestCLogState:
+    def test_set_and_get(self):
+        state = CLogState()
+        entry = CLogEntry.fresh(make_record())
+        slot = state.set_entry(entry)
+        assert slot == 0
+        assert state.get(entry.key) == entry
+        assert entry.key in state
+        assert len(state) == 1
+
+    def test_root_changes_with_entries(self):
+        state = CLogState()
+        empty_root = state.root
+        state.set_entry(CLogEntry.fresh(make_record()))
+        assert state.root != empty_root
+
+    def test_slot_order_stable(self):
+        state = CLogState()
+        entries = [CLogEntry.fresh(make_record(sport=1000 + i))
+                   for i in range(5)]
+        for entry in entries:
+            state.set_entry(entry)
+        assert state.entries_in_slot_order() == entries
+        # Updating an entry keeps its slot.
+        updated = entries[2].merge(make_record(sport=1002,
+                                               router_id="r9"),
+                                   DEFAULT_POLICY)
+        state.set_entry(updated)
+        assert state.entries_in_slot_order()[2] == updated
+
+    def test_clone_is_independent(self):
+        state = CLogState()
+        state.set_entry(CLogEntry.fresh(make_record()))
+        clone = state.clone()
+        assert clone.root == state.root
+        clone.set_entry(CLogEntry.fresh(make_record(sport=9)))
+        assert clone.root != state.root
+        assert len(state) == 1
+
+    def test_entry_views(self):
+        state = CLogState()
+        state.set_entry(CLogEntry.fresh(make_record()))
+        views = state.entry_views()
+        assert len(views) == 1
+        assert views[0]["packets"] == 100

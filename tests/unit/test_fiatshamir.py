@@ -1,0 +1,89 @@
+"""Unit tests for the Fiat–Shamir transcript."""
+
+import pytest
+
+from repro.zkvm.fiatshamir import Transcript
+
+
+class TestDeterminism:
+    def test_same_inputs_same_challenges(self):
+        def run():
+            t = Transcript("proto")
+            t.absorb("a", b"data")
+            t.absorb_int("n", 42)
+            return [t.challenge("c1"), t.challenge_int("c2", 1000)]
+        assert run() == run()
+
+    def test_protocol_separates(self):
+        a = Transcript("proto-a")
+        b = Transcript("proto-b")
+        a.absorb("x", b"same")
+        b.absorb("x", b"same")
+        assert a.challenge("c") != b.challenge("c")
+
+    def test_label_separates(self):
+        a = Transcript("p")
+        b = Transcript("p")
+        a.absorb("label-1", b"same")
+        b.absorb("label-2", b"same")
+        assert a.challenge("c") != b.challenge("c")
+
+    def test_absorb_order_matters(self):
+        a = Transcript("p")
+        b = Transcript("p")
+        a.absorb("x", b"1")
+        a.absorb("y", b"2")
+        b.absorb("y", b"2")
+        b.absorb("x", b"1")
+        assert a.challenge("c") != b.challenge("c")
+
+    def test_any_absorbed_bit_changes_challenges(self):
+        a = Transcript("p")
+        b = Transcript("p")
+        a.absorb("x", b"\x00")
+        b.absorb("x", b"\x01")
+        assert a.challenge("c") != b.challenge("c")
+
+
+class TestChallenges:
+    def test_successive_challenges_differ(self):
+        t = Transcript("p")
+        assert t.challenge("c") != t.challenge("c")
+
+    def test_challenge_advances_state(self):
+        a = Transcript("p")
+        b = Transcript("p")
+        a.challenge("first")
+        # b skips the first challenge: subsequent challenges diverge.
+        assert a.challenge("second") != b.challenge("second")
+
+    def test_challenge_int_in_range(self):
+        t = Transcript("p")
+        for bound in (1, 2, 7, 1000, 2**40):
+            for _ in range(5):
+                assert 0 <= t.challenge_int("i", bound) < bound
+
+    def test_challenge_int_requires_positive_bound(self):
+        with pytest.raises(ValueError):
+            Transcript("p").challenge_int("i", 0)
+
+    def test_challenge_indices_count_and_range(self):
+        t = Transcript("p")
+        indices = t.challenge_indices("q", 17, 16)
+        assert len(indices) == 16
+        assert all(0 <= i < 17 for i in indices)
+
+    def test_indices_roughly_uniform(self):
+        t = Transcript("p")
+        draws = t.challenge_indices("q", 4, 400)
+        counts = [draws.count(v) for v in range(4)]
+        assert min(counts) > 50  # no bucket starved
+
+    def test_absorb_digest_and_bytes_equivalent(self):
+        from repro.hashing import sha256
+        digest = sha256(b"payload")
+        a = Transcript("p")
+        b = Transcript("p")
+        a.absorb("x", digest)
+        b.absorb("x", digest.raw)
+        assert a.challenge("c") == b.challenge("c")

@@ -1,0 +1,192 @@
+"""Unit tests for the telemetry guest programs, driven directly."""
+
+import pytest
+
+from repro.commitments import window_digest
+from repro.core.aggregation import (
+    Aggregator,
+    RouterWindowInput,
+    make_receipt_binding,
+)
+from repro.core.clog import CLogState
+from repro.core.guest_programs import aggregation_guest, query_guest
+from repro.core.policy import DEFAULT_POLICY
+from repro.core.witness import build_witness
+from repro.errors import ChainError, GuestAbort
+from repro.hashing import sha256
+from repro.merkle.tree import EMPTY_ROOTS
+from repro.zkvm import ExecutorEnvBuilder, Prover, verify_receipt
+
+from ..conftest import make_record
+
+
+def window_inputs(records_by_router: dict[str, list]):
+    inputs = []
+    for router_id, records in sorted(records_by_router.items()):
+        blobs = tuple(r.to_bytes() for r in records)
+        inputs.append(RouterWindowInput(
+            router_id=router_id, window_index=0,
+            commitment=window_digest(list(blobs)), blobs=blobs))
+    return inputs
+
+
+def simple_round(records_by_router=None):
+    if records_by_router is None:
+        records_by_router = {
+            "r1": [make_record(router_id="r1")],
+            "r2": [make_record(router_id="r2", sport=2000)],
+        }
+    state = CLogState()
+    return Aggregator().aggregate(state, window_inputs(records_by_router),
+                                  prev_receipt=None)
+
+
+class TestAggregationGuest:
+    def test_journal_header_fields(self):
+        result = simple_round()
+        header = result.journal_header
+        assert header["round"] == 0
+        assert header["prev_root"] == EMPTY_ROOTS[0]
+        assert header["new_root"] == result.new_root
+        assert header["size"] == 2
+        assert header["entries"] == 2
+        assert header["policy"] == DEFAULT_POLICY.digest()
+        assert {(w["r"], w["w"]) for w in header["windows"]} == \
+            {("r1", 0), ("r2", 0)}
+
+    def test_per_entry_journal_items(self):
+        result = simple_round()
+        values = result.receipt.journal.decode()
+        items = values[1:]
+        assert len(items) == 2
+        for item in items:
+            assert set(item) == {"s", "l", "t"}
+            assert len(item["t"]) == 16
+
+    def test_receipt_verifies(self):
+        result = simple_round()
+        verify_receipt(result.receipt, aggregation_guest.image_id)
+
+    def test_commitment_mismatch_aborts(self):
+        records = {"r1": [make_record()]}
+        inputs = window_inputs(records)
+        forged = [RouterWindowInput(
+            router_id=i.router_id, window_index=i.window_index,
+            commitment=sha256(b"wrong"), blobs=i.blobs) for i in inputs]
+        with pytest.raises(GuestAbort, match="commitment mismatch"):
+            Aggregator().aggregate(CLogState(), forged, None)
+
+    def test_nonempty_genesis_state_aborts(self):
+        """Round 0 must start from the empty CLog."""
+        builder = ExecutorEnvBuilder()
+        builder.write({
+            "round": 0,
+            "policy": DEFAULT_POLICY.to_wire(),
+            "prev_root": sha256(b"not empty"),
+            "prev_size": 3,
+            "prev_depth": 2,
+            "num_routers": 0,
+            "num_ops": 0,
+        })
+        with pytest.raises(GuestAbort, match="genesis"):
+            Prover().prove(aggregation_guest, builder.build())
+
+    def test_witness_record_mismatch_aborts(self):
+        """Ops must line up one-to-one with committed records."""
+        records = {"r1": [make_record()]}
+        inputs = window_inputs(records)
+        witness = build_witness(CLogState(),
+                                [make_record()], DEFAULT_POLICY)
+        builder = ExecutorEnvBuilder()
+        builder.write({
+            "round": 0,
+            "policy": DEFAULT_POLICY.to_wire(),
+            "prev_root": witness.prev_root,
+            "prev_size": 0,
+            "prev_depth": 0,
+            "num_routers": 1,
+            "num_ops": 0,  # no ops supplied
+        })
+        builder.write({
+            "router_id": "r1", "window_index": 0,
+            "commitment": inputs[0].commitment,
+            "blobs": list(inputs[0].blobs),
+        })
+        with pytest.raises(GuestAbort, match="witness exhausted"):
+            Prover().prove(aggregation_guest, builder.build())
+
+    def test_chained_round_requires_prev_receipt(self):
+        result = simple_round()
+        state = result.new_state
+        follow_up = {"r1": [make_record(sport=3000)]}
+        with pytest.raises(ChainError):
+            Aggregator().aggregate(state, window_inputs(follow_up), None)
+
+    def test_chained_round_resolves(self):
+        first = simple_round()
+        follow_up = window_inputs(
+            {"r1": [make_record(router_id="r1", sport=3000)]})
+        # Reuse different window index to be realistic.
+        second = Aggregator().aggregate(first.new_state, follow_up,
+                                        first.receipt)
+        assert second.round == 1
+        assert second.journal_header["prev_root"] == first.new_root
+        assert not second.receipt.claim.assumptions
+        verify_receipt(second.receipt, aggregation_guest.image_id)
+
+
+class TestQueryGuest:
+    def make_query_input(self, result, sql, entries=None, num=None):
+        state = result.new_state
+        entries = entries if entries is not None \
+            else state.entries_in_slot_order()
+        builder = ExecutorEnvBuilder()
+        builder.write({"query": sql,
+                       "num_entries": num if num is not None
+                       else len(entries)})
+        builder.write(make_receipt_binding(result.receipt))
+        for entry in entries:
+            builder.write({"key": entry.key.pack(),
+                           "payload": entry.to_payload()})
+        return builder.build()
+
+    def test_query_journal(self):
+        result = simple_round()
+        sql = "SELECT COUNT(*) FROM clogs"
+        info = Prover().prove(query_guest,
+                              self.make_query_input(result, sql))
+        journal = info.receipt.journal.decode_one()
+        assert journal["query"] == sql
+        assert journal["root"] == result.new_root
+        assert journal["values"] == [2]
+        assert journal["scanned"] == 2
+
+    def test_entry_substitution_aborts(self):
+        """Swapping an entry's payload breaks the root recomputation."""
+        result = simple_round()
+        entries = result.new_state.entries_in_slot_order()
+        from repro.core.clog import CLogEntry
+        forged = [CLogEntry.fresh(make_record(sport=1, lost_packets=0))]\
+            + entries[1:]
+        env_input = self.make_query_input(
+            result, "SELECT COUNT(*) FROM clogs", entries=forged)
+        with pytest.raises(GuestAbort, match="root"):
+            Prover().prove(query_guest, env_input)
+
+    def test_entry_omission_aborts(self):
+        result = simple_round()
+        entries = result.new_state.entries_in_slot_order()
+        env_input = self.make_query_input(
+            result, "SELECT COUNT(*) FROM clogs", entries=entries[:1],
+            num=1)
+        with pytest.raises(GuestAbort, match="entries"):
+            Prover().prove(query_guest, env_input)
+
+    def test_query_over_empty_state(self):
+        result = Aggregator().aggregate(CLogState(), window_inputs(
+            {"r1": [make_record()]}), None)
+        # Single entry state still works.
+        info = Prover().prove(query_guest, self.make_query_input(
+            result, "SELECT SUM(lost_packets) FROM clogs"))
+        journal = info.receipt.journal.decode_one()
+        assert journal["values"] == [1]

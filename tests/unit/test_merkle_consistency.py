@@ -1,0 +1,167 @@
+"""Unit tests for Merkle consistency proofs."""
+
+import pytest
+
+from repro.errors import MerkleError
+from repro.hashing import sha256
+from repro.merkle import ConsistencyProof, MerkleTree, \
+    verify_consistency
+from repro.merkle.consistency import aligned_blocks
+
+
+def leaf(i: int):
+    return sha256(i.to_bytes(4, "big"))
+
+
+def tree_of(n: int) -> MerkleTree:
+    return MerkleTree(leaf(i) for i in range(n))
+
+
+class TestAlignedBlocks:
+    @pytest.mark.parametrize("start,end,expected", [
+        (0, 1, [(0, 0)]),
+        (0, 8, [(3, 0)]),
+        (0, 5, [(2, 0), (0, 4)]),
+        (0, 7, [(2, 0), (1, 2), (0, 6)]),
+        (5, 8, [(0, 5), (1, 3)]),
+        (3, 3, []),
+    ])
+    def test_decomposition(self, start, end, expected):
+        assert aligned_blocks(start, end) == expected
+
+    def test_blocks_cover_range_exactly(self):
+        for start, end in [(0, 13), (7, 29), (1, 2), (16, 33)]:
+            covered = []
+            for level, pos in aligned_blocks(start, end):
+                covered.extend(range(pos << level,
+                                     (pos + 1) << level))
+            assert covered == list(range(start, end))
+
+    def test_invalid_range(self):
+        with pytest.raises(MerkleError):
+            aligned_blocks(5, 3)
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("old,new", [
+        (1, 1), (1, 2), (2, 3), (3, 8), (4, 4), (5, 13),
+        (8, 9), (7, 32), (16, 17), (1, 33),
+    ])
+    def test_honest_growth_verifies(self, old, new):
+        old_tree = tree_of(old)
+        new_tree = tree_of(new)
+        proof = new_tree.prove_consistency(old)
+        verify_consistency(old_tree.root, new_tree.root, proof)
+
+    def test_every_checkpoint_pair(self):
+        n = 20
+        roots = {}
+        tree = MerkleTree()
+        for i in range(1, n + 1):
+            tree.append(leaf(i - 1))
+            roots[i] = tree.root
+        for old in range(1, n + 1):
+            proof = tree.prove_consistency(old)
+            verify_consistency(roots[old], roots[n], proof)
+
+    def test_rewritten_prefix_rejected(self):
+        old_tree = tree_of(5)
+        # A "new" tree that rewrote leaf 2 before appending.
+        leaves = [leaf(i) for i in range(5)] + [leaf(5), leaf(6)]
+        leaves[2] = sha256(b"rewritten")
+        forked = MerkleTree(leaves)
+        proof = forked.prove_consistency(5)
+        with pytest.raises(MerkleError, match="rewritten"):
+            verify_consistency(old_tree.root, forked.root, proof)
+
+    def test_wrong_new_root_rejected(self):
+        tree = tree_of(9)
+        proof = tree.prove_consistency(4)
+        with pytest.raises(MerkleError):
+            verify_consistency(tree_of(4).root, sha256(b"x"), proof)
+
+    def test_tampered_proof_node_rejected(self):
+        old_tree = tree_of(4)
+        new_tree = tree_of(9)
+        proof = new_tree.prove_consistency(4)
+        nodes = list(proof.nodes)
+        level, pos, _digest = nodes[0]
+        nodes[0] = (level, pos, sha256(b"forged"))
+        forged = ConsistencyProof(old_size=4, new_size=9,
+                                  nodes=tuple(nodes))
+        with pytest.raises(MerkleError):
+            verify_consistency(old_tree.root, new_tree.root, forged)
+
+    def test_missing_node_rejected(self):
+        old_tree = tree_of(4)
+        new_tree = tree_of(9)
+        proof = new_tree.prove_consistency(4)
+        starved = ConsistencyProof(old_size=4, new_size=9,
+                                   nodes=proof.nodes[1:])
+        with pytest.raises(MerkleError, match="missing"):
+            verify_consistency(old_tree.root, new_tree.root, starved)
+
+    def test_shortcut_node_attack_rejected(self):
+        """Soundness regression: a forged high-level node covering the
+        whole new tree must not let the prover bypass the prefix
+        constraint.
+
+        Attack: keep the honest prefix nodes (so the old root checks
+        out) but add a node at the new tree's apex taken from a
+        *rewritten* tree; a lax verifier would use the apex node
+        directly and never tie the new root to the prefix.
+        """
+        old_tree = tree_of(4)
+        honest_new = tree_of(8)
+        # The rewritten history the prover actually holds.
+        leaves = [leaf(i) for i in range(8)]
+        leaves[1] = sha256(b"rewritten")
+        forked = MerkleTree(leaves)
+        honest_proof = honest_new.prove_consistency(4)
+        forged_nodes = tuple(
+            (level, pos, digest)
+            for level, pos, digest in honest_proof.nodes
+        ) + ((3, 0, forked.root),)  # apex of the forked tree
+        forged = ConsistencyProof(old_size=4, new_size=8,
+                                  nodes=forged_nodes)
+        with pytest.raises(MerkleError):
+            verify_consistency(old_tree.root, forked.root, forged)
+
+    def test_extra_noncanonical_nodes_rejected(self):
+        tree = tree_of(8)
+        proof = tree.prove_consistency(4)
+        padded = ConsistencyProof(
+            old_size=4, new_size=8,
+            nodes=proof.nodes + ((0, 1, leaf(1)),))  # not canonical
+        with pytest.raises(MerkleError, match="outside the canonical"):
+            verify_consistency(tree_of(4).root, tree.root, padded)
+
+    def test_size_validation(self):
+        tree = tree_of(4)
+        with pytest.raises(MerkleError):
+            tree.prove_consistency(0)
+        with pytest.raises(MerkleError):
+            tree.prove_consistency(5)
+
+    def test_wire_roundtrip(self):
+        tree = tree_of(9)
+        proof = tree.prove_consistency(4)
+        restored = ConsistencyProof.from_wire(proof.to_wire())
+        verify_consistency(tree_of(4).root, tree.root, restored)
+
+
+class TestNodeAt:
+    def test_full_subtrees_accessible(self):
+        tree = tree_of(8)
+        assert tree.node_at(3, 0) == tree.root
+        assert tree.node_at(0, 5) == leaf(5)
+
+    def test_partial_subtree_rejected(self):
+        tree = tree_of(5)
+        with pytest.raises(MerkleError, match="not fully occupied"):
+            tree.node_at(2, 1)  # covers leaves 4..8, only 4 exists
+
+    def test_level_bounds(self):
+        tree = tree_of(4)
+        with pytest.raises(MerkleError):
+            tree.node_at(5, 0)

@@ -1,0 +1,57 @@
+"""Unit tests for the simulation clocks."""
+
+import threading
+
+import pytest
+
+from repro.netflow.clock import SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_configured_time(self):
+        assert SimClock().now_ms() == 0
+        assert SimClock(start_ms=500).now_ms() == 500
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance_ms(1_000) == 1_000
+        assert clock.now_ms() == 1_000
+
+    def test_sleep_advances(self):
+        clock = SimClock()
+        clock.sleep_ms(250)
+        assert clock.now_ms() == 250
+
+    def test_zero_sleep_is_noop(self):
+        clock = SimClock()
+        clock.sleep_ms(0)
+        assert clock.now_ms() == 0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_ms(-1)
+
+    def test_thread_safety(self):
+        clock = SimClock()
+
+        def advance():
+            for _ in range(1_000):
+                clock.advance_ms(1)
+
+        threads = [threading.Thread(target=advance) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.now_ms() == 4_000
+
+
+class TestWallClock:
+    def test_monotonic_progress(self):
+        clock = WallClock()
+        first = clock.now_ms()
+        clock.sleep_ms(15)
+        assert clock.now_ms() >= first + 10
+
+    def test_starts_near_zero(self):
+        assert WallClock().now_ms() < 1_000

@@ -1,0 +1,85 @@
+"""Unit tests for the NetFlow v9 packet format."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.netflow.packet import (
+    FlowSet,
+    HEADER_LEN,
+    PacketHeader,
+    decode_packet,
+    encode_packet,
+)
+
+
+def header(**overrides) -> PacketHeader:
+    defaults = dict(count=1, sys_uptime_ms=1000, unix_secs=1234,
+                    sequence=7, source_id=42)
+    defaults.update(overrides)
+    return PacketHeader(**defaults)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        h = header()
+        assert PacketHeader.decode(h.encode()) == h
+
+    def test_length(self):
+        assert len(header().encode()) == HEADER_LEN == 20
+
+    def test_version_enforced(self):
+        data = bytearray(header().encode())
+        data[0:2] = (5).to_bytes(2, "big")  # NetFlow v5
+        with pytest.raises(SerializationError, match="version 5"):
+            PacketHeader.decode(bytes(data))
+
+    def test_short_packet_rejected(self):
+        with pytest.raises(SerializationError):
+            PacketHeader.decode(b"\x00" * 10)
+
+    def test_field_wraparound(self):
+        h = header(sequence=2**33)
+        assert PacketHeader.decode(h.encode()).sequence == 2**33 % 2**32
+
+
+class TestFlowSets:
+    def test_roundtrip_multiple_flowsets(self):
+        flowsets = [FlowSet(flowset_id=0, body=b"template-ish"),
+                    FlowSet(flowset_id=300, body=b"data" * 5)]
+        packet = encode_packet(header(), flowsets)
+        decoded_header, decoded = decode_packet(packet)
+        assert decoded_header == header()
+        assert len(decoded) == 2
+        assert decoded[0].flowset_id == 0
+        assert decoded[0].is_template
+        assert decoded[1].flowset_id == 300
+        assert decoded[1].is_data
+        # Bodies survive modulo alignment padding.
+        assert decoded[0].body.rstrip(b"\x00") == b"template-ish"
+        assert decoded[1].body == b"data" * 5
+
+    def test_four_byte_alignment(self):
+        packet = encode_packet(header(), [FlowSet(0, b"abc")])
+        assert (len(packet) - HEADER_LEN) % 4 == 0
+
+    def test_empty_flowset_list(self):
+        packet = encode_packet(header(count=0), [])
+        _, flowsets = decode_packet(packet)
+        assert flowsets == []
+
+    def test_truncated_flowset_rejected(self):
+        packet = encode_packet(header(), [FlowSet(300, b"data" * 4)])
+        with pytest.raises(SerializationError):
+            decode_packet(packet[:-4])
+
+    def test_bad_flowset_length_rejected(self):
+        import struct
+        bad = header().encode() + struct.pack(">HH", 300, 2)
+        with pytest.raises(SerializationError, match="too small"):
+            decode_packet(bad)
+
+    def test_length_past_end_rejected(self):
+        import struct
+        bad = header().encode() + struct.pack(">HH", 300, 100) + b"x" * 8
+        with pytest.raises(SerializationError, match="past packet end"):
+            decode_packet(bad)

@@ -1,0 +1,119 @@
+"""Unit tests for flow keys and NetFlow records."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SerializationError
+from repro.netflow.records import FlowKey, NetFlowRecord
+from repro.serialization import decode
+
+from ..conftest import make_record
+
+
+class TestFlowKey:
+    def test_pack_unpack_roundtrip(self):
+        key = FlowKey("192.168.1.7", "8.8.8.8", 443, 51000, 6)
+        assert FlowKey.unpack(key.pack()) == key
+        assert len(key.pack()) == 13
+
+    def test_invalid_address(self):
+        with pytest.raises(ConfigurationError):
+            FlowKey("999.1.1.1", "8.8.8.8", 1, 2, 6)
+
+    def test_invalid_port(self):
+        with pytest.raises(ConfigurationError):
+            FlowKey("1.1.1.1", "2.2.2.2", 70000, 2, 6)
+        with pytest.raises(ConfigurationError):
+            FlowKey("1.1.1.1", "2.2.2.2", -1, 2, 6)
+
+    def test_invalid_protocol(self):
+        with pytest.raises(ConfigurationError):
+            FlowKey("1.1.1.1", "2.2.2.2", 1, 2, 300)
+
+    def test_unpack_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            FlowKey.unpack(b"short")
+
+    def test_reversed(self):
+        key = FlowKey("1.1.1.1", "2.2.2.2", 10, 20, 17)
+        rev = key.reversed()
+        assert rev.src_addr == "2.2.2.2"
+        assert rev.src_port == 20
+        assert rev.reversed() == key
+
+    def test_ordering_and_hash(self):
+        a = FlowKey("1.1.1.1", "2.2.2.2", 1, 2, 6)
+        b = FlowKey("1.1.1.2", "2.2.2.2", 1, 2, 6)
+        assert a < b
+        assert len({a, b, FlowKey("1.1.1.1", "2.2.2.2", 1, 2, 6)}) == 2
+
+    def test_to_bytes_key_matches_pack(self):
+        key = FlowKey("1.1.1.1", "2.2.2.2", 1, 2, 6)
+        assert key.to_bytes_key() == key.pack()
+
+    def test_str(self):
+        key = FlowKey("1.1.1.1", "2.2.2.2", 10, 20, 6)
+        assert str(key) == "1.1.1.1:10->2.2.2.2:20/6"
+
+
+class TestNetFlowRecord:
+    def test_wire_roundtrip(self):
+        record = make_record()
+        assert NetFlowRecord.from_wire(decode(record.to_bytes())) == record
+
+    def test_digest_changes_with_content(self):
+        a = make_record()
+        b = make_record(packets=101)
+        assert a.digest() != b.digest()
+
+    def test_extra_excluded_from_canonical_bytes(self):
+        a = make_record()
+        b = make_record(extra={"app": "video"})
+        assert a.to_bytes() == b.to_bytes()
+        assert a == b  # extra is compare=False
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_record(packets=-1)
+        with pytest.raises(ConfigurationError):
+            make_record(lost_packets=-5)
+
+    def test_timestamps_ordered(self):
+        with pytest.raises(ConfigurationError):
+            make_record(first_switched_ms=10, last_switched_ms=5)
+
+    def test_duration(self):
+        record = make_record(first_switched_ms=1000,
+                             last_switched_ms=4000)
+        assert record.duration_ms == 3000
+
+    def test_loss_rate(self):
+        record = make_record(packets=90, lost_packets=10)
+        assert record.loss_rate == pytest.approx(0.1)
+        zero = make_record(packets=0, lost_packets=0, octets=0)
+        assert zero.loss_rate == 0.0
+
+    def test_throughput(self):
+        record = make_record(octets=125_000, first_switched_ms=0,
+                             last_switched_ms=1000)
+        assert record.throughput_bps == pytest.approx(1_000_000)
+        instant = make_record(first_switched_ms=5, last_switched_ms=5)
+        assert instant.throughput_bps == 0.0
+
+    def test_with_updates(self):
+        record = make_record()
+        changed = record.with_updates(lost_packets=0)
+        assert changed.lost_packets == 0
+        assert changed.key == record.key
+        assert record.lost_packets == 1  # original untouched
+
+    def test_malformed_wire_raises_serialization_error(self):
+        wire = decode(make_record().to_bytes())
+        wire["unknown_field"] = 1
+        with pytest.raises(SerializationError):
+            NetFlowRecord.from_wire(wire)
+
+    def test_wire_missing_key(self):
+        wire = decode(make_record().to_bytes())
+        del wire["key"]
+        with pytest.raises(SerializationError):
+            NetFlowRecord.from_wire(wire)

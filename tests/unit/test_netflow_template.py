@@ -1,0 +1,116 @@
+"""Unit tests for NetFlow v9 templates."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.netflow.template import (
+    FieldType,
+    STANDARD_TEMPLATE,
+    Template,
+    TemplateField,
+)
+
+from ..conftest import make_record
+
+
+class TestTemplateStructure:
+    def test_standard_template_id_in_data_range(self):
+        assert STANDARD_TEMPLATE.template_id >= 256
+
+    def test_record_length(self):
+        assert STANDARD_TEMPLATE.record_length == \
+            sum(f.length for f in STANDARD_TEMPLATE.fields)
+
+    def test_template_id_range_enforced(self):
+        fields = (TemplateField(FieldType.PROTOCOL, 1),)
+        with pytest.raises(SerializationError):
+            Template(template_id=255, fields=fields)
+        with pytest.raises(SerializationError):
+            Template(template_id=70000, fields=fields)
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(SerializationError):
+            Template(template_id=300, fields=())
+
+    def test_odd_field_length_rejected(self):
+        with pytest.raises(SerializationError):
+            TemplateField(FieldType.PROTOCOL, 3)
+
+    def test_template_encode_decode(self):
+        templates = list(Template.decode_all(STANDARD_TEMPLATE.encode()))
+        assert templates == [STANDARD_TEMPLATE]
+
+    def test_multiple_templates_in_one_flowset(self):
+        t2 = Template(template_id=400,
+                      fields=(TemplateField(FieldType.IN_PKTS, 4),))
+        body = STANDARD_TEMPLATE.encode() + t2.encode()
+        assert list(Template.decode_all(body)) == [STANDARD_TEMPLATE, t2]
+
+    def test_unknown_field_type_rejected(self):
+        import struct
+        body = struct.pack(">HHHH", 300, 1, 9999, 4)
+        with pytest.raises(SerializationError):
+            list(Template.decode_all(body))
+
+    def test_truncated_template_rejected(self):
+        body = STANDARD_TEMPLATE.encode()[:-2]
+        with pytest.raises(SerializationError):
+            list(Template.decode_all(body))
+
+
+class TestRecordCodec:
+    def test_roundtrip_preserves_all_fields(self):
+        record = make_record(tcp_flags=0x1B, input_if=4, output_if=9,
+                             next_hop="10.0.0.254", hop_count=3,
+                             lost_packets=7, rtt_us=12_345,
+                             jitter_us=678)
+        data = STANDARD_TEMPLATE.encode_record(record)
+        assert len(data) == STANDARD_TEMPLATE.record_length
+        decoded = STANDARD_TEMPLATE.decode_record(data, router_id="r1")
+        assert decoded.key == record.key
+        assert decoded.packets == record.packets
+        assert decoded.octets == record.octets
+        assert decoded.tcp_flags == record.tcp_flags
+        assert decoded.input_if == record.input_if
+        assert decoded.output_if == record.output_if
+        assert decoded.next_hop == record.next_hop
+        assert decoded.hop_count == record.hop_count
+        assert decoded.lost_packets == record.lost_packets
+        assert decoded.rtt_us == record.rtt_us
+        assert decoded.jitter_us == record.jitter_us
+        assert decoded.router_id == "r1"
+
+    def test_sys_uptime_relative_timestamps(self):
+        record = make_record(first_switched_ms=10_000,
+                             last_switched_ms=12_000)
+        data = STANDARD_TEMPLATE.encode_record(record,
+                                               sys_uptime_ms=9_000)
+        decoded = STANDARD_TEMPLATE.decode_record(data,
+                                                  sys_uptime_ms=9_000)
+        assert decoded.first_switched_ms == 10_000
+        assert decoded.last_switched_ms == 12_000
+
+    def test_counter_wraparound(self):
+        record = make_record(octets=2**40)  # exceeds the 4-byte field
+        data = STANDARD_TEMPLATE.encode_record(record)
+        decoded = STANDARD_TEMPLATE.decode_record(data)
+        assert decoded.octets == 2**40 % 2**32
+
+    def test_wrong_length_rejected(self):
+        record = make_record()
+        data = STANDARD_TEMPLATE.encode_record(record)
+        with pytest.raises(SerializationError):
+            STANDARD_TEMPLATE.decode_record(data[:-1])
+
+    def test_partial_template_defaults(self):
+        minimal = Template(
+            template_id=500,
+            fields=(TemplateField(FieldType.IPV4_SRC_ADDR, 4),
+                    TemplateField(FieldType.IPV4_DST_ADDR, 4),
+                    TemplateField(FieldType.IN_PKTS, 4)),
+        )
+        record = make_record()
+        decoded = minimal.decode_record(minimal.encode_record(record))
+        assert decoded.key.src_addr == record.key.src_addr
+        assert decoded.packets == record.packets
+        assert decoded.hop_count == 1  # default

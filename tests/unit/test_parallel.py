@@ -1,0 +1,101 @@
+"""Unit tests for parallel (partitioned) aggregation."""
+
+import pytest
+
+from repro.commitments import window_digest
+from repro.core.aggregation import RouterWindowInput
+from repro.core.guest_programs import merge_guest
+from repro.core.parallel import ParallelAggregator
+from repro.core.policy import AggOp, AggregationPolicy, DEFAULT_POLICY
+from repro.errors import ConfigurationError, GuestAbort
+from repro.hashing import sha256
+from repro.zkvm import verify_receipt
+from repro.zkvm.costmodel import CostModel
+
+from ..conftest import make_record
+
+
+def inputs_for(records_by_router):
+    inputs = []
+    for router_id, records in sorted(records_by_router.items()):
+        blobs = tuple(r.to_bytes() for r in records)
+        inputs.append(RouterWindowInput(
+            router_id=router_id, window_index=0,
+            commitment=window_digest(list(blobs)), blobs=blobs))
+    return inputs
+
+
+@pytest.fixture
+def four_router_inputs():
+    return inputs_for({
+        f"r{i}": [make_record(router_id=f"r{i}", sport=1000 + j)
+                  for j in range(3)]
+        for i in range(1, 5)
+    })
+
+
+class TestParallelAggregation:
+    def test_produces_verifiable_receipt(self, four_router_inputs):
+        result = ParallelAggregator().aggregate(four_router_inputs)
+        verify_receipt(result.receipt, merge_guest.image_id)
+        assert result.size == 3  # 3 distinct flows across 4 routers
+        assert len(result.partition_infos) == 4
+
+    def test_matches_sequential_aggregation_content(self,
+                                                    four_router_inputs):
+        """Partitioned merge must combine to the same per-flow values a
+        sequential aggregation produces (associative policy)."""
+        from repro.core.aggregation import Aggregator
+        from repro.core.clog import CLogState
+        sequential = Aggregator().aggregate(CLogState(),
+                                            four_router_inputs, None)
+        parallel = ParallelAggregator().aggregate(four_router_inputs)
+        seq_entries = {e.key: e for e in
+                       sequential.new_state.entries_in_slot_order()}
+        # Decode parallel journal partials indirectly via size check +
+        # root determinism across runs.
+        again = ParallelAggregator().aggregate(four_router_inputs)
+        assert parallel.new_root == again.new_root
+        assert parallel.size == len(seq_entries)
+
+    def test_partition_count_clamped(self, four_router_inputs):
+        result = ParallelAggregator().aggregate(four_router_inputs,
+                                                num_partitions=100)
+        assert len(result.partition_infos) == 4  # one per router max
+
+    def test_fewer_partitions_than_routers(self, four_router_inputs):
+        result = ParallelAggregator().aggregate(four_router_inputs,
+                                                num_partitions=2)
+        assert len(result.partition_infos) == 2
+        verify_receipt(result.receipt, merge_guest.image_id)
+
+    def test_modeled_speedup(self, four_router_inputs):
+        result = ParallelAggregator().aggregate(four_router_inputs)
+        model = CostModel()
+        assert result.modeled_seconds(model) < \
+            result.sequential_seconds(model)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelAggregator().aggregate([])
+
+    def test_bad_partition_count(self, four_router_inputs):
+        with pytest.raises(ConfigurationError):
+            ParallelAggregator().aggregate(four_router_inputs,
+                                           num_partitions=0)
+
+    def test_tampered_partition_aborts(self, four_router_inputs):
+        forged = [four_router_inputs[0]] + [
+            RouterWindowInput(router_id=i.router_id,
+                              window_index=i.window_index,
+                              commitment=sha256(b"nope"), blobs=i.blobs)
+            for i in four_router_inputs[1:2]
+        ] + four_router_inputs[2:]
+        with pytest.raises(GuestAbort):
+            ParallelAggregator().aggregate(forged)
+
+    def test_non_associative_policy_fails(self, four_router_inputs):
+        policy = AggregationPolicy(packets=AggOp.LAST)
+        with pytest.raises((ConfigurationError, GuestAbort)):
+            ParallelAggregator(policy=policy).aggregate(
+                four_router_inputs)

@@ -1,0 +1,93 @@
+"""Unit tests for the query cost planner."""
+
+import pytest
+
+from repro.core.planner import QueryPlanner, estimate_query_cost
+from repro.core.prover_service import ProverService
+from repro.errors import QuerySyntaxError
+from repro.zkvm.costmodel import CostModel, ProverBackend
+
+from ..conftest import make_committed_records
+
+QUERIES = [
+    "SELECT COUNT(*) FROM clogs",
+    'SELECT SUM(hop_count) FROM clogs '
+    'WHERE src_ip = "1.1.1.1" AND dst_ip = "9.9.9.9"',
+    "SELECT COUNT(*), AVG(rtt_avg_us), MAX(packets) FROM clogs "
+    "WHERE (packets > 100 OR lost_packets > 0) AND hop_count >= 2",
+    "SELECT SUM(octets) FROM clogs GROUP BY src_net16",
+]
+
+
+@pytest.fixture(scope="module")
+def service():
+    store, bulletin, _n = make_committed_records(400, seed=41)
+    svc = ProverService(store, bulletin)
+    svc.aggregate_window(0)
+    return svc
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_prediction_within_five_percent(self, service, sql):
+        estimate = service.estimate_query(sql)
+        service.answer_query(sql, use_cache=False)
+        actual = service.last_prove_info.stats.total_cycles
+        assert estimate.predicted_cycles == \
+            pytest.approx(actual, rel=0.05)
+
+    def test_segments_predicted(self, service):
+        estimate = service.estimate_query(QUERIES[0])
+        service.answer_query(QUERIES[0], use_cache=False)
+        assert estimate.predicted_segments == \
+            service.last_prove_info.stats.segment_count
+
+
+class TestOrdering:
+    def test_complex_queries_cost_more(self, service):
+        simple = service.estimate_query("SELECT COUNT(*) FROM clogs")
+        complex_ = service.estimate_query(QUERIES[2])
+        assert complex_.predicted_cycles > simple.predicted_cycles
+
+    def test_larger_states_cost_more(self):
+        def estimate_at(n):
+            store, bulletin, _ = make_committed_records(n, seed=43)
+            svc = ProverService(store, bulletin)
+            svc.aggregate_window(0)
+            return svc.estimate_query(QUERIES[0]).predicted_cycles
+        assert estimate_at(600) > 2 * estimate_at(100)
+
+
+class TestBackendsAndUnits:
+    def test_seconds_per_backend(self, service):
+        estimate = service.estimate_query(QUERIES[0])
+        model = CostModel()
+        cpu = estimate.seconds(model, ProverBackend.CPU_ZKVM)
+        gpu = estimate.seconds(model, ProverBackend.GPU_ZKVM)
+        specialized = estimate.seconds(model,
+                                       ProverBackend.SPECIALIZED_HASH)
+        assert cpu > gpu
+        assert specialized < cpu
+        assert estimate.minutes(model) == pytest.approx(cpu / 60)
+
+    def test_modeled_seconds_close_to_metered_model(self, service):
+        sql = QUERIES[1]
+        estimate = service.estimate_query(sql)
+        service.answer_query(sql, use_cache=False)
+        model = CostModel()
+        predicted = estimate.seconds(model)
+        metered = model.prove_seconds(service.last_prove_info.stats)
+        assert predicted == pytest.approx(metered, rel=0.10)
+
+
+class TestEdgeCases:
+    def test_invalid_sql_rejected_at_planning(self, service):
+        with pytest.raises(QuerySyntaxError):
+            service.estimate_query("SELECT nothing FROM clogs")
+
+    def test_empty_state(self):
+        from repro.core.clog import CLogState
+        planner = QueryPlanner(CLogState(), agg_journal_bytes=0)
+        estimate = planner.estimate("SELECT COUNT(*) FROM clogs")
+        assert estimate.entries == 0
+        assert estimate.predicted_cycles > 0  # fixed overheads remain

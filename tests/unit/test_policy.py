@@ -1,0 +1,52 @@
+"""Unit tests for aggregation policies."""
+
+import pytest
+
+from repro.core.policy import (
+    AggOp,
+    AggregationPolicy,
+    DEFAULT_POLICY,
+    POLICY_FIELDS,
+    SUM_ALL_POLICY,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAggOp:
+    def test_sum(self):
+        assert AggOp.SUM.combine(3, 4) == 7
+
+    def test_min_max(self):
+        assert AggOp.MIN.combine(3, 4) == 3
+        assert AggOp.MAX.combine(3, 4) == 4
+
+    def test_last(self):
+        assert AggOp.LAST.combine(3, 4) == 4
+
+
+class TestPolicy:
+    def test_default_policy_matches_paper_example(self):
+        # §4: "packet loss counts ... summed to produce a total loss
+        # count per flow".
+        assert DEFAULT_POLICY.lost_packets is AggOp.SUM
+
+    def test_op_for(self):
+        assert DEFAULT_POLICY.op_for("packets") is AggOp.MAX
+        with pytest.raises(ConfigurationError):
+            DEFAULT_POLICY.op_for("rtt_us")
+
+    def test_wire_roundtrip(self):
+        for policy in (DEFAULT_POLICY, SUM_ALL_POLICY,
+                       AggregationPolicy(packets=AggOp.LAST)):
+            assert AggregationPolicy.from_wire(policy.to_wire()) == policy
+
+    def test_bad_wire_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AggregationPolicy.from_wire({"packets": "sum"})
+        with pytest.raises(ConfigurationError):
+            AggregationPolicy.from_wire(
+                {field: "frobnicate" for field in POLICY_FIELDS})
+
+    def test_digest_distinguishes_policies(self):
+        assert DEFAULT_POLICY.digest() != SUM_ALL_POLICY.digest()
+        assert DEFAULT_POLICY.digest() == AggregationPolicy().digest()

@@ -1,0 +1,123 @@
+"""Unit tests for the prover service."""
+
+import pytest
+
+from repro.core.prover_service import ProverService
+from repro.errors import MissingCommitment, ProofError
+
+from ..conftest import make_committed_records
+
+
+@pytest.fixture
+def service():
+    store, bulletin, _count = make_committed_records(60)
+    return ProverService(store, bulletin)
+
+
+class TestAggregation:
+    def test_aggregate_window_advances_state(self, service):
+        result = service.aggregate_window(0)
+        assert result.round == 0
+        assert len(service.state) > 0
+        assert len(service.chain) == 1
+        assert service.state.root == result.new_root
+        assert service.last_prove_info is not None
+
+    def test_double_aggregation_rejected(self, service):
+        service.aggregate_window(0)
+        with pytest.raises(ProofError, match="already aggregated"):
+            service.aggregate_window(0)
+
+    def test_missing_window_raises(self, service):
+        with pytest.raises(MissingCommitment):
+            service.aggregate_window(99)
+
+    def test_uncommitted_data_never_aggregated(self, service):
+        """Rows present in the store but not on the bulletin must not
+        enter a round."""
+        service.store.append_records(
+            "r1", 7, [])  # no-op window; now add real rows
+        from ..conftest import make_record
+        service.store.append_records("r1", 7, [make_record()])
+        with pytest.raises(MissingCommitment):
+            service.aggregate_window(7)
+
+    def test_aggregate_all_committed(self):
+        store, bulletin, _ = make_committed_records(40, window_index=0)
+        # Add a second committed window.
+        from repro.commitments import Commitment, window_digest
+        from ..conftest import make_record
+        extra = [make_record(router_id="r1", sport=4000 + i)
+                 for i in range(3)]
+        store.append_records("r1", 1, extra)
+        bulletin.publish(Commitment(
+            router_id="r1", window_index=1,
+            digest=window_digest([r.to_bytes() for r in extra]),
+            record_count=3, published_at_ms=10_000))
+        service = ProverService(store, bulletin)
+        results = service.aggregate_all_committed()
+        assert [r.round for r in results] == [0, 1]
+        assert len(service.chain) == 2
+        # Re-running is a no-op.
+        assert service.aggregate_all_committed() == []
+
+    def test_multi_window_single_round(self):
+        store, bulletin, _ = make_committed_records(40, window_index=0)
+        from repro.commitments import Commitment, window_digest
+        from ..conftest import make_record
+        extra = [make_record(router_id="r2", sport=5000)]
+        store.append_records("r2", 1, extra)
+        bulletin.publish(Commitment(
+            router_id="r2", window_index=1,
+            digest=window_digest([r.to_bytes() for r in extra]),
+            record_count=1, published_at_ms=10_000))
+        service = ProverService(store, bulletin)
+        result = service.aggregate_windows([0, 1])
+        assert result.round == 0
+        windows = {(w["r"], w["w"])
+                   for w in result.journal_header["windows"]}
+        assert ("r2", 1) in windows
+
+
+class TestQueries:
+    def test_query_before_aggregation_fails(self, service):
+        from repro.errors import ChainError
+        with pytest.raises(ChainError):
+            service.answer_query("SELECT COUNT(*) FROM clogs")
+
+    def test_query_counts_entries(self, service):
+        service.aggregate_window(0)
+        response = service.answer_query("SELECT COUNT(*) FROM clogs")
+        assert response.value() == len(service.state)
+        assert response.scanned == len(service.state)
+        assert response.round == 0
+        assert response.root == service.state.root
+
+    def test_query_matches_host_evaluation(self, service):
+        service.aggregate_window(0)
+        sql = "SELECT SUM(lost_packets), MAX(hop_count) FROM clogs"
+        response = service.answer_query(sql)
+        from repro.query import evaluate, parse_query
+        expected = evaluate(parse_query(sql), service.state.entry_views())
+        assert response.values == expected.values
+
+    def test_query_cache_returns_identical_response(self, service):
+        service.aggregate_window(0)
+        sql = "SELECT COUNT(*) FROM clogs"
+        first = service.answer_query(sql)
+        prove_info = service.last_prove_info
+        second = service.answer_query(sql)
+        assert second is first  # cache hit, no new proving
+        assert service.last_prove_info is prove_info
+        fresh = service.answer_query(sql, use_cache=False)
+        assert fresh is not first
+        assert fresh.receipt.claim_digest == first.receipt.claim_digest
+
+    def test_paper_example_query_shape(self, service):
+        service.aggregate_window(0)
+        response = service.answer_query(
+            'SELECT SUM(hop_count) FROM clogs '
+            'WHERE src_ip = "1.1.1.1" AND dst_ip = "9.9.9.9"')
+        # No such flow in generated traffic: SUM over empty set.
+        assert response.value() is None
+        assert response.matched == 0

@@ -1,0 +1,75 @@
+"""Unit tests for the query tokenizer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.text) for t in tokenize(text)
+            if t.type is not TokenType.EOF]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select Sum from") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "SUM"),
+            (TokenType.KEYWORD, "FROM"),
+        ]
+
+    def test_identifiers(self):
+        assert kinds("hop_count clogs") == [
+            (TokenType.IDENT, "hop_count"),
+            (TokenType.IDENT, "clogs"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("42 -7 3.5") == [
+            (TokenType.NUMBER, "42"),
+            (TokenType.NUMBER, "-7"),
+            (TokenType.NUMBER, "3.5"),
+        ]
+
+    def test_strings_both_quotes(self):
+        assert kinds("\"1.1.1.1\" 'x y'") == [
+            (TokenType.STRING, "1.1.1.1"),
+            (TokenType.STRING, "x y"),
+        ]
+
+    def test_operators(self):
+        assert [t.text for t in tokenize("= != < <= > >=")
+                if t.type is TokenType.OPERATOR] == \
+            ["=", "!=", "<", "<=", ">", ">="]
+
+    def test_punct(self):
+        assert kinds("( ) , ; *") == [
+            (TokenType.PUNCT, "("), (TokenType.PUNCT, ")"),
+            (TokenType.PUNCT, ","), (TokenType.PUNCT, ";"),
+            (TokenType.PUNCT, "*"),
+        ]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  bb")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError, match="unterminated"):
+            tokenize('SELECT "oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("a @ b")
+
+    def test_bad_operator(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("a !x b")
+
+    def test_whitespace_insensitive(self):
+        assert kinds("a=1") == kinds("a = 1")

@@ -1,0 +1,108 @@
+"""Unit tests for sampled NetFlow."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netflow.sampling import (
+    SamplingEstimator,
+    estimate_record,
+    sample_record,
+)
+
+from ..conftest import make_record
+
+
+def population(n=200, packets=1_000):
+    return [make_record(sport=1000 + i, packets=packets,
+                        octets=packets * 100, lost_packets=packets // 50)
+            for i in range(n)]
+
+
+class TestSampleRecord:
+    def test_rate_one_is_identity(self):
+        record = make_record()
+        assert sample_record(record, 1) is record
+
+    def test_sampling_reduces_counters(self):
+        record = make_record(packets=10_000, octets=1_000_000)
+        sampled = sample_record(record, 100)
+        assert sampled is not None
+        assert sampled.packets < record.packets
+        assert sampled.octets < record.octets
+        assert sampled.key == record.key
+
+    def test_short_flows_can_vanish(self):
+        tiny = [make_record(sport=i, packets=1, octets=100,
+                            lost_packets=0)
+                for i in range(1000, 1200)]
+        surviving = [r for r in tiny
+                     if sample_record(r, 64) is not None]
+        # 1-packet flows survive 1-in-64 sampling ~1.6% of the time.
+        assert len(surviving) < len(tiny) * 0.2
+
+    def test_deterministic(self):
+        record = make_record(packets=5_000)
+        assert sample_record(record, 10) == sample_record(record, 10)
+
+    def test_seed_changes_outcome(self):
+        record = make_record(packets=5_000)
+        a = sample_record(record, 10, seed=1)
+        b = sample_record(record, 10, seed=2)
+        assert a != b
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            sample_record(make_record(), 0)
+
+
+class TestEstimation:
+    def test_scale_up(self):
+        record = make_record(packets=50, octets=5_000, lost_packets=2)
+        estimated = estimate_record(record, 10)
+        assert estimated.packets == 500
+        assert estimated.octets == 50_000
+        assert estimated.lost_packets == 20
+
+    def test_population_estimate_unbiased(self):
+        records = population(n=300, packets=2_000)
+        error = SamplingEstimator(rate=16, seed=4).evaluate(records)
+        assert error.packet_relative_error < 0.05
+
+    def test_higher_rate_more_error_and_less_visibility(self):
+        records = population(n=150, packets=50)
+        low = SamplingEstimator(rate=4, seed=1).evaluate(records)
+        high = SamplingEstimator(rate=256, seed=1).evaluate(records)
+        assert high.flow_visibility <= low.flow_visibility
+        assert low.flow_visibility > 0.9
+
+    def test_visibility_of_empty_population(self):
+        error = SamplingEstimator(rate=8).evaluate([])
+        assert error.flow_visibility == 1.0
+        assert error.packet_relative_error == 0.0
+
+
+class TestSampledCommitmentPipeline:
+    def test_sampled_records_commit_and_aggregate(self):
+        """Sampling happens before commitment: the committed window is
+        the sampled one, and the pipeline runs unchanged."""
+        from repro.commitments import (BulletinBoard, Commitment,
+                                       window_digest)
+        from repro.core.prover_service import ProverService
+        from repro.storage import MemoryLogStore
+        sampler = SamplingEstimator(rate=4, seed=2)
+        sampled = sampler.sample_all(population(n=60, packets=400))
+        store = MemoryLogStore()
+        bulletin = BulletinBoard()
+        store.append_records("r1", 0, sampled)
+        bulletin.publish(Commitment(
+            "r1", 0, window_digest([r.to_bytes() for r in sampled]),
+            len(sampled), 5_000))
+        service = ProverService(store, bulletin)
+        result = service.aggregate_window(0)
+        assert len(result.new_state) == len(sampled)
+        response = service.answer_query(
+            "SELECT SUM(packets) FROM clogs")
+        # Scale-up happens at analysis time.
+        estimated_total = response.value() * 4
+        true_total = 60 * 400
+        assert estimated_total == pytest.approx(true_total, rel=0.2)

@@ -1,0 +1,140 @@
+"""Unit tests for both log-store backends (parametrized)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import MemoryLogStore, SqliteLogStore
+
+from ..conftest import make_record
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request):
+    backend = MemoryLogStore() if request.param == "memory" \
+        else SqliteLogStore()
+    yield backend
+    backend.close()
+
+
+def records(n, router="r1"):
+    return [make_record(router_id=router, sport=1000 + i)
+            for i in range(n)]
+
+
+class TestAppendRead:
+    def test_append_and_read_back(self, store):
+        original = records(5)
+        store.append_records("r1", 0, original)
+        assert store.window_records("r1", 0) == original
+        assert store.window_blobs("r1", 0) == \
+            [r.to_bytes() for r in original]
+
+    def test_append_preserves_order_across_calls(self, store):
+        first, second = records(3), records(2)
+        store.append_records("r1", 0, first)
+        store.append_records("r1", 0, second)
+        assert store.window_records("r1", 0) == first + second
+
+    def test_windows_isolated(self, store):
+        store.append_records("r1", 0, records(2))
+        store.append_records("r1", 5, records(3))
+        assert store.window_count("r1", 0) == 2
+        assert store.window_count("r1", 5) == 3
+        assert store.window_indices("r1") == [0, 5]
+
+    def test_routers_isolated(self, store):
+        store.append_records("r1", 0, records(2))
+        store.append_records("r2", 0, records(1, router="r2"))
+        assert store.router_ids() == ["r1", "r2"]
+        assert store.window_count("r2", 0) == 1
+
+    def test_missing_window_is_empty(self, store):
+        assert store.window_blobs("ghost", 9) == []
+        assert store.window_indices("ghost") == []
+
+    def test_all_blobs_for_window(self, store):
+        store.append_records("r1", 0, records(2))
+        store.append_records("r2", 0, records(1, router="r2"))
+        store.append_records("r1", 1, records(1))
+        per_router = store.all_blobs_for_window(0)
+        assert set(per_router) == {"r1", "r2"}
+        assert len(per_router["r1"]) == 2
+
+
+class TestMutation:
+    def test_overwrite_raw(self, store):
+        store.append_records("r1", 0, records(3))
+        store.overwrite_raw("r1", 0, 1, b"tampered")
+        assert store.window_blobs("r1", 0)[1] == b"tampered"
+
+    def test_overwrite_missing_row(self, store):
+        store.append_records("r1", 0, records(1))
+        with pytest.raises(StorageError):
+            store.overwrite_raw("r1", 0, 5, b"x")
+        with pytest.raises(StorageError):
+            store.overwrite_raw("ghost", 0, 0, b"x")
+
+    def test_replace_window(self, store):
+        store.append_records("r1", 0, records(3))
+        store.replace_window("r1", 0, [b"a", b"b"])
+        assert store.window_blobs("r1", 0) == [b"a", b"b"]
+
+    def test_replace_with_empty(self, store):
+        store.append_records("r1", 0, records(2))
+        store.replace_window("r1", 0, [])
+        assert store.window_blobs("r1", 0) == []
+
+    def test_purge_window(self, store):
+        store.append_records("r1", 0, records(4))
+        assert store.purge_window("r1", 0) == 4
+        assert store.window_blobs("r1", 0) == []
+        assert store.purge_window("r1", 0) == 0
+
+
+class TestLifecycle:
+    def test_closed_store_rejects_operations(self, store):
+        store.append_records("r1", 0, records(1))
+        store.close()
+        with pytest.raises(StorageError):
+            store.window_blobs("r1", 0)
+
+    def test_context_manager(self):
+        with MemoryLogStore() as store:
+            store.append_records("r1", 0, records(1))
+        with pytest.raises(StorageError):
+            store.router_ids()
+
+
+class TestSqliteSpecific:
+    def test_persistence_to_file(self, tmp_path):
+        path = str(tmp_path / "logs.db")
+        first = SqliteLogStore(path)
+        first.append_records("r1", 0, records(3))
+        first.close()
+        second = SqliteLogStore(path)
+        assert second.window_count("r1", 0) == 3
+        second.close()
+
+    def test_concurrent_writers(self):
+        import threading
+        store = SqliteLogStore()
+
+        def writer(router_id):
+            for window in range(5):
+                store.append_records(router_id, window,
+                                     records(3, router=router_id))
+
+        threads = [threading.Thread(target=writer, args=(f"r{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(store.router_ids()) == 4
+        for router_id in store.router_ids():
+            assert store.window_indices(router_id) == list(range(5))
+        store.close()
+
+    def test_bad_path_raises(self):
+        with pytest.raises(StorageError):
+            SqliteLogStore("/nonexistent-dir/sub/logs.db")

@@ -1,0 +1,81 @@
+"""Unit tests for the system wiring and package surface."""
+
+import pytest
+
+import repro
+from repro.core.system import SystemConfig, TelemetrySystem, \
+    build_paper_eval_system
+from repro.netflow.topology import NetworkTopology
+
+
+class TestSystemConfig:
+    def test_defaults_match_paper(self):
+        config = SystemConfig()
+        assert config.num_routers == 4
+        assert config.commit_interval_ms == 5_000
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            TelemetrySystem(SystemConfig(backend="postgres"))
+
+    def test_backends_construct(self):
+        for backend in ("memory", "sqlite"):
+            system = TelemetrySystem(SystemConfig(backend=backend))
+            system.close()
+
+
+class TestTelemetrySystem:
+    def test_custom_topology_flows_through(self):
+        system = TelemetrySystem(
+            SystemConfig(flows_per_tick=3),
+            topology=NetworkTopology.star(2))
+        system.generate(30)
+        assert set(system.store.router_ids()) <= \
+            {"core", "edge1", "edge2"}
+
+    def test_generate_then_aggregate_then_query(self):
+        system = build_paper_eval_system(target_records=60,
+                                         flows_per_tick=5)
+        rounds = system.aggregate_all()
+        assert rounds >= 1
+        response, verified = system.query(
+            "SELECT COUNT(*) FROM clogs")
+        assert response.values == verified.values
+
+    def test_seed_determinism(self):
+        def root(seed):
+            system = build_paper_eval_system(target_records=60,
+                                             seed=seed,
+                                             flows_per_tick=5)
+            system.aggregate_all()
+            return system.prover.state.root
+        assert root(5) == root(5)
+        assert root(5) != root(6)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_exports_resolve(self):
+        import repro.core
+        for name in repro.core.__all__:
+            assert getattr(repro.core, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.commitments
+        import repro.merkle
+        import repro.netflow
+        import repro.query
+        import repro.sketch
+        import repro.storage
+        import repro.zkvm
+        for module in (repro.merkle, repro.netflow, repro.query,
+                       repro.sketch, repro.storage, repro.zkvm,
+                       repro.commitments):
+            for name in module.__all__:
+                assert getattr(module, name) is not None

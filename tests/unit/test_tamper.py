@@ -1,0 +1,101 @@
+"""Unit tests for tamper injection primitives."""
+
+import pytest
+
+from repro.core.tamper import (
+    TamperKind,
+    TamperOutcome,
+    corrupt_record_bytes,
+    inject_record,
+    modify_record_field,
+    reorder_window,
+    run_tamper_experiment,
+    truncate_window,
+)
+from repro.errors import GuestAbort, StorageError
+from repro.storage import MemoryLogStore
+
+from ..conftest import make_record
+
+
+@pytest.fixture
+def store():
+    backend = MemoryLogStore()
+    backend.append_records("r1", 0, [make_record(sport=1000 + i)
+                                     for i in range(4)])
+    return backend
+
+
+class TestPrimitives:
+    def test_modify_field_produces_valid_record(self, store):
+        tampered = modify_record_field(store, "r1", 0, 1,
+                                       lost_packets=0)
+        assert tampered.lost_packets == 0
+        stored = store.window_records("r1", 0)[1]
+        assert stored == tampered
+
+    def test_modify_missing_row(self, store):
+        with pytest.raises(StorageError):
+            modify_record_field(store, "r1", 0, 99, packets=1)
+
+    def test_corrupt_bytes_flips_one_bit(self, store):
+        before = store.window_blobs("r1", 0)[2]
+        corrupt_record_bytes(store, "r1", 0, 2, byte_index=10)
+        after = store.window_blobs("r1", 0)[2]
+        assert before != after
+        assert sum(a != b for a, b in zip(before, after)) == 1
+
+    def test_truncate(self, store):
+        truncate_window(store, "r1", 0, keep=2)
+        assert store.window_count("r1", 0) == 2
+
+    def test_reorder(self, store):
+        before = store.window_blobs("r1", 0)
+        reorder_window(store, "r1", 0)
+        after = store.window_blobs("r1", 0)
+        assert after[0] == before[-1]
+        assert after[-1] == before[0]
+        assert sorted(after) == sorted(before)
+
+    def test_reorder_needs_two(self):
+        store = MemoryLogStore()
+        store.append_records("r1", 0, [make_record()])
+        with pytest.raises(StorageError):
+            reorder_window(store, "r1", 0)
+
+    def test_inject(self, store):
+        inject_record(store, "r1", 0, make_record(sport=9999))
+        assert store.window_count("r1", 0) == 5
+
+
+class TestHarness:
+    def test_detected_on_guest_abort(self):
+        def prove():
+            raise GuestAbort("hash mismatch")
+
+        outcome = run_tamper_experiment(TamperKind.MODIFY_FIELD,
+                                        lambda: None, prove)
+        assert outcome.detected
+        assert outcome.error_type == "GuestAbort"
+        assert "DETECTED" in str(outcome)
+
+    def test_detected_on_repro_error(self):
+        from repro.errors import SerializationError
+
+        def prove():
+            raise SerializationError("cannot decode")
+
+        outcome = run_tamper_experiment(TamperKind.CORRUPT_BYTES,
+                                        lambda: None, prove)
+        assert outcome.detected
+
+    def test_undetected_when_prove_succeeds(self):
+        outcome = run_tamper_experiment(TamperKind.TRUNCATE,
+                                        lambda: None, lambda: "receipt")
+        assert not outcome.detected
+        assert "UNDETECTED" in str(outcome)
+
+    def test_outcome_is_dataclass(self):
+        outcome = TamperOutcome(kind=TamperKind.INJECT, detected=True,
+                                error_type="GuestAbort", detail="x")
+        assert outcome.kind is TamperKind.INJECT

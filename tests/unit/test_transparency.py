@@ -1,0 +1,148 @@
+"""Unit tests for the receipt transparency log."""
+
+import pytest
+
+from repro.core.transparency import LogCheckpoint, ReceiptTransparencyLog
+from repro.errors import ChainError, IntegrityError
+from repro.hashing import sha256
+
+
+@pytest.fixture
+def receipts(aggregated_system):
+    return aggregated_system.prover.chain.receipts()
+
+
+class TestAppend:
+    def test_appends_rounds_in_order(self, receipts):
+        log = ReceiptTransparencyLog()
+        for index, receipt in enumerate(receipts):
+            assert log.append(receipt) == index
+        assert len(log) == len(receipts)
+
+    def test_rejects_round_skips(self, receipts):
+        if len(receipts) < 2:
+            pytest.skip("need two rounds")
+        log = ReceiptTransparencyLog()
+        with pytest.raises(ChainError):
+            log.append(receipts[1])  # round 1 before round 0
+
+    def test_rejects_round_rewrites(self, receipts):
+        log = ReceiptTransparencyLog()
+        log.append(receipts[0])
+        with pytest.raises(ChainError):
+            log.append(receipts[0])  # round 0 again
+
+    def test_root_evolves(self, receipts):
+        log = ReceiptTransparencyLog()
+        roots = []
+        for receipt in receipts:
+            log.append(receipt)
+            roots.append(log.root)
+        assert len(set(roots)) == len(roots)
+
+
+class TestInclusion:
+    def test_inclusion_proofs_verify(self, receipts):
+        log = ReceiptTransparencyLog()
+        for receipt in receipts:
+            log.append(receipt)
+        checkpoint = log.checkpoint()
+        for index, receipt in enumerate(receipts):
+            proof = log.prove_inclusion(index)
+            ReceiptTransparencyLog.verify_inclusion(
+                checkpoint, receipt.claim.digest(), proof)
+
+    def test_wrong_claim_rejected(self, receipts):
+        log = ReceiptTransparencyLog()
+        log.append(receipts[0])
+        proof = log.prove_inclusion(0)
+        with pytest.raises(IntegrityError, match="stated claim"):
+            ReceiptTransparencyLog.verify_inclusion(
+                log.checkpoint(), sha256(b"other claim"), proof)
+
+    def test_proof_beyond_checkpoint_rejected(self, receipts):
+        if len(receipts) < 2:
+            pytest.skip("need two rounds")
+        log = ReceiptTransparencyLog()
+        log.append(receipts[0])
+        old_checkpoint = log.checkpoint()
+        log.append(receipts[1])
+        proof = log.prove_inclusion(1)
+        with pytest.raises(IntegrityError):
+            ReceiptTransparencyLog.verify_inclusion(
+                old_checkpoint, receipts[1].claim.digest(), proof)
+
+
+class TestConsistencyProofs:
+    def test_explicit_proof_roundtrip(self, receipts):
+        if len(receipts) < 2:
+            pytest.skip("need two rounds")
+        log = ReceiptTransparencyLog()
+        log.append(receipts[0])
+        old_checkpoint = log.checkpoint()
+        log.append(receipts[1])
+        proof = log.prove_consistency(old_checkpoint)
+        ReceiptTransparencyLog.verify_consistency(
+            old_checkpoint, log.checkpoint(), proof)
+
+    def test_size_mismatch_rejected(self, receipts):
+        if len(receipts) < 2:
+            pytest.skip("need two rounds")
+        log = ReceiptTransparencyLog()
+        log.append(receipts[0])
+        old_checkpoint = log.checkpoint()
+        log.append(receipts[1])
+        proof = log.prove_consistency(old_checkpoint)
+        wrong = LogCheckpoint(size=old_checkpoint.size + 1,
+                              root=old_checkpoint.root)
+        with pytest.raises(IntegrityError, match="sizes"):
+            ReceiptTransparencyLog.verify_consistency(
+                wrong, log.checkpoint(), proof)
+
+    def test_future_proof_refused(self, receipts):
+        log = ReceiptTransparencyLog()
+        log.append(receipts[0])
+        future = LogCheckpoint(size=5, root=sha256(b"future"))
+        with pytest.raises(ChainError):
+            log.prove_consistency(future)
+
+
+class TestConsistency:
+    def test_prefix_consistency(self, receipts):
+        log = ReceiptTransparencyLog()
+        checkpoints = []
+        for receipt in receipts:
+            log.append(receipt)
+            checkpoints.append(log.checkpoint())
+        for checkpoint in checkpoints:
+            assert log.consistent_with(checkpoint)
+
+    def test_forked_history_detected(self, receipts):
+        if len(receipts) < 2:
+            pytest.skip("need two rounds")
+        honest = ReceiptTransparencyLog()
+        for receipt in receipts:
+            honest.append(receipt)
+        auditor_view = honest.checkpoint()
+        # The provider "re-does" history with a different round 0.
+        forked = ReceiptTransparencyLog()
+        forked._claims = [sha256(b"rewritten round 0")] \
+            + honest._claims[1:]
+        from repro.merkle import MerkleTree
+        from repro.merkle.hasher import default_hasher
+        forked._tree = MerkleTree(
+            default_hasher().leaf(c.raw) for c in forked._claims)
+        assert not forked.consistent_with(auditor_view)
+
+    def test_future_checkpoint_inconsistent(self, receipts):
+        log = ReceiptTransparencyLog()
+        log.append(receipts[0])
+        future = LogCheckpoint(size=99, root=sha256(b"future"))
+        assert not log.consistent_with(future)
+
+    def test_checkpoint_wire_roundtrip(self, receipts):
+        log = ReceiptTransparencyLog()
+        log.append(receipts[0])
+        checkpoint = log.checkpoint()
+        assert LogCheckpoint.from_wire(checkpoint.to_wire()) == \
+            checkpoint

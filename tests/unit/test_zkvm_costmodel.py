@@ -1,0 +1,104 @@
+"""Unit tests for the prover cost model and its calibration."""
+
+import pytest
+
+from repro.zkvm import ExecutorEnvBuilder, Prover, guest_program
+from repro.zkvm.costmodel import (
+    CostModel,
+    ProverBackend,
+    VERIFY_SECONDS,
+)
+
+
+@guest_program("cost-worker")
+def cost_guest(env):
+    n = env.read()
+    for _ in range(n):
+        env.sha256(b"x" * 100)
+    env.commit(n)
+
+
+def stats_for(n: int):
+    return Prover().prove(
+        cost_guest, ExecutorEnvBuilder().write(n).build()).stats
+
+
+class TestBackends:
+    def test_cpu_latency_grows_with_work(self):
+        model = CostModel()
+        small = model.prove_seconds(stats_for(10))
+        large = model.prove_seconds(stats_for(100_000))
+        assert large > small
+
+    def test_gpu_is_order_of_magnitude_faster(self):
+        model = CostModel()
+        stats = stats_for(50_000)
+        cpu = model.prove_seconds(stats, ProverBackend.CPU_ZKVM)
+        gpu = model.prove_seconds(stats, ProverBackend.GPU_ZKVM)
+        assert cpu / gpu == pytest.approx(10.0)
+
+    def test_specialized_charges_per_hash(self):
+        model = CostModel(base_overhead=0.0)
+        stats = stats_for(60_000)
+        specialized = model.prove_seconds(
+            stats, ProverBackend.SPECIALIZED_HASH)
+        expected = stats.sha_compressions / 600_000.0
+        assert specialized == pytest.approx(expected)
+
+    def test_specialized_beats_zkvm_dramatically(self):
+        """§7: specialized proof systems are orders of magnitude faster
+        than the general-purpose zkVM for hash-dominated work."""
+        model = CostModel()
+        stats = stats_for(30_000)
+        cpu = model.prove_seconds(stats, ProverBackend.CPU_ZKVM)
+        specialized = model.prove_seconds(
+            stats, ProverBackend.SPECIALIZED_HASH)
+        assert cpu / specialized > 50
+
+    def test_estimate_carries_metadata(self):
+        model = CostModel()
+        estimate = model.estimate(stats_for(100))
+        assert estimate.cycles > 0
+        assert estimate.sha_compressions >= 100
+        assert estimate.minutes == pytest.approx(estimate.seconds / 60)
+
+
+class TestParallelModel:
+    def test_parallel_bounded_by_slowest(self):
+        model = CostModel(segment_overhead=0.0, base_overhead=0.0)
+        stats = [stats_for(n) for n in (100, 1_000, 10_000)]
+        parallel = model.parallel_prove_seconds(stats)
+        slowest = max(model.prove_seconds(s) for s in stats)
+        assert parallel == pytest.approx(slowest)
+
+    def test_parallel_faster_than_sequential(self):
+        model = CostModel()
+        stats = [stats_for(10_000) for _ in range(4)]
+        parallel = model.parallel_prove_seconds(stats)
+        sequential = sum(model.prove_seconds(s) for s in stats)
+        assert parallel < sequential / 2
+
+    def test_empty_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().parallel_prove_seconds([])
+
+
+class TestVerifyModel:
+    def test_succinct_verification_constant(self):
+        model = CostModel()
+        assert model.verify_seconds() == VERIFY_SECONDS
+        assert model.verify_seconds(segment_count=100) == VERIFY_SECONDS
+
+    def test_composite_scales_with_segments(self):
+        model = CostModel()
+        assert model.verify_seconds(segment_count=5, succinct=False) == \
+            pytest.approx(5 * VERIFY_SECONDS)
+
+    def test_paper_verify_latency_is_3ms(self):
+        assert VERIFY_SECONDS == pytest.approx(0.003)
+
+
+class TestConfiguration:
+    def test_invalid_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(cpu_cycles_per_second=0)

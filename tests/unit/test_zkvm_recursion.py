@@ -1,0 +1,146 @@
+"""Unit tests for compression and assumption resolution."""
+
+import pytest
+
+from repro.errors import ChainError, ProofError
+from repro.hashing import sha256
+from repro.zkvm import (
+    ExecutorEnvBuilder,
+    Prover,
+    ProverOpts,
+    ReceiptKind,
+    guest_program,
+    verify_receipt,
+)
+from repro.zkvm.recursion import compress, resolve, resolve_all
+
+
+@guest_program("base-program")
+def base_guest(env):
+    env.commit(env.read())
+
+
+@guest_program("chained-program")
+def chained_guest(env):
+    image_id = env.read()
+    claim_digest = env.read()
+    env.verify(image_id, claim_digest)
+    env.commit("depends")
+
+
+def prove_base(value=7, kind=ReceiptKind.GROTH16):
+    return Prover(ProverOpts(kind=kind)).prove(
+        base_guest, ExecutorEnvBuilder().write(value).build()).receipt
+
+
+def prove_chained(base_receipt, kind=ReceiptKind.SUCCINCT):
+    env_input = (ExecutorEnvBuilder()
+                 .write(base_receipt.claim.image_id)
+                 .write(base_receipt.claim.digest())
+                 .build())
+    return Prover(ProverOpts(kind=kind)).prove(
+        chained_guest, env_input).receipt
+
+
+class TestCompress:
+    def test_composite_to_succinct_to_groth16(self):
+        composite = prove_base(kind=ReceiptKind.COMPOSITE)
+        succinct = compress(composite, ReceiptKind.SUCCINCT)
+        groth16 = compress(succinct, ReceiptKind.GROTH16)
+        assert succinct.kind is ReceiptKind.SUCCINCT
+        assert groth16.kind is ReceiptKind.GROTH16
+        assert groth16.claim_digest == composite.claim_digest
+        verify_receipt(groth16, base_guest.image_id)
+
+    def test_compress_is_idempotent_at_same_kind(self):
+        receipt = prove_base(kind=ReceiptKind.SUCCINCT)
+        assert compress(receipt, ReceiptKind.SUCCINCT) is receipt
+
+    def test_cannot_decompress(self):
+        groth16 = prove_base(kind=ReceiptKind.GROTH16)
+        with pytest.raises(ProofError):
+            compress(groth16, ReceiptKind.COMPOSITE)
+        with pytest.raises(ProofError):
+            compress(groth16, ReceiptKind.SUCCINCT)
+
+
+class TestResolve:
+    def test_resolution_yields_unconditional_receipt(self):
+        base = prove_base()
+        conditional = prove_chained(base)
+        assert conditional.claim.assumptions
+        resolved = resolve(conditional, base)
+        assert not resolved.claim.assumptions
+        verify_receipt(resolved, chained_guest.image_id)
+        assert resolved.journal == conditional.journal
+
+    def test_wrong_receipt_breaks_chain(self):
+        base = prove_base(value=7)
+        unrelated = prove_base(value=8)
+        conditional = prove_chained(base)
+        with pytest.raises(ChainError, match="chain is broken"):
+            resolve(conditional, unrelated)
+
+    def test_resolving_unconditional_fails(self):
+        base = prove_base()
+        with pytest.raises(ChainError, match="no assumptions"):
+            resolve(base, base)
+
+    def test_composite_must_compress_first(self):
+        base = prove_base()
+        conditional = prove_chained(base, kind=ReceiptKind.COMPOSITE)
+        with pytest.raises(ProofError, match="compress"):
+            resolve(conditional, base)
+
+    def test_assumption_receipt_must_itself_verify(self):
+        import dataclasses
+        base = prove_base()
+        conditional = prove_chained(base)
+        forged_claim = dataclasses.replace(base.claim, total_cycles=1)
+        from repro.zkvm.receipt import Receipt
+        forged = Receipt(inner=base.inner, journal=base.journal,
+                         claim=forged_claim)
+        with pytest.raises(Exception):
+            resolve(conditional, forged)
+
+
+class TestResolveAll:
+    def test_multiple_assumptions(self):
+        @guest_program("double-chained")
+        def double_guest(env):
+            for _ in range(2):
+                env.verify(env.read(), env.read())
+            env.commit("ok")
+
+        a = prove_base(value=1)
+        b = prove_base(value=2)
+        env_input = (ExecutorEnvBuilder()
+                     .write(a.claim.image_id).write(a.claim.digest())
+                     .write(b.claim.image_id).write(b.claim.digest())
+                     .build())
+        conditional = Prover(ProverOpts.succinct()).prove(
+            double_guest, env_input).receipt
+        resolved = resolve_all(conditional, [b, a])  # any order
+        assert not resolved.claim.assumptions
+        verify_receipt(resolved, double_guest.image_id)
+
+    def test_incomplete_resolution_raises(self):
+        base = prove_base()
+        conditional = prove_chained(base)
+        with pytest.raises(ChainError):
+            resolve_all(conditional, [])
+
+
+class TestAssumptionBinding:
+    def test_forged_claim_digest_never_resolves(self):
+        """A guest assuming a made-up claim can never get an
+        unconditional receipt — the chain enforcement of §4.1."""
+        conditional_input = (ExecutorEnvBuilder()
+                             .write(sha256(b"fake image"))
+                             .write(sha256(b"fake claim"))
+                             .build())
+        conditional = Prover(ProverOpts.succinct()).prove(
+            chained_guest, conditional_input).receipt
+        real = prove_base()
+        with pytest.raises(ChainError):
+            resolve(conditional, real)
