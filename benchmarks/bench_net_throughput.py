@@ -1,0 +1,124 @@
+"""Wire-service overhead: queries through the server loop vs. direct
+in-process calls.
+
+The paper's verifier cost story (§6, Table 1) is measured in-process;
+once prover and verifier are separated by a real channel (the Figure 1
+deployment), the wire layer adds framing, canonical encode/decode, and
+a socket round trip per request.  This benchmark measures that tax on
+the repeated-query path (responses are deterministic and cached, so
+proving cost is excluded by construction after the first call):
+queries/sec plus p50/p99 latency for
+
+* ``direct``  — ``ProverService.answer_query`` in-process,
+* ``wire``    — ``QueryClient.query`` against a live localhost
+  ``ProverServer``,
+* ``wire-8x`` — the same with 8 concurrent client threads.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+
+import pytest
+
+from repro.net import NO_RETRY, ProverServer, QueryClient
+
+from _workloads import PAPER_QUERY, aggregated_service
+
+NUM_RECORDS = 300
+REQUESTS = 200
+CONCURRENCY = 8
+
+
+@pytest.fixture(scope="module")
+def service():
+    service = aggregated_service(NUM_RECORDS)
+    service.answer_query(PAPER_QUERY)  # warm the query cache
+    return service
+
+
+@pytest.fixture(scope="module")
+def server(service):
+    with ProverServer(service) as live:
+        yield live
+
+
+def _percentiles(latencies_s: list[float]) -> tuple[float, float]:
+    ordered = sorted(latencies_s)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1,
+                      round(0.99 * (len(ordered) - 1)))]
+    return p50 * 1000, p99 * 1000
+
+
+def _drive(fn, requests: int = REQUESTS) -> tuple[float, float, float]:
+    """(queries/sec, p50 ms, p99 ms) for ``requests`` calls of fn."""
+    latencies = []
+    start = time.perf_counter()
+    for _ in range(requests):
+        t0 = time.perf_counter()
+        fn()
+        latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - start
+    p50, p99 = _percentiles(latencies)
+    return requests / elapsed, p50, p99
+
+
+def _report_row(report, mode, qps, p50, p99):
+    report.table(
+        "net-throughput",
+        f"Wire-service overhead ({REQUESTS} cached queries over "
+        f"{NUM_RECORDS} records)",
+        ["mode", "qps", "p50_ms", "p99_ms"],
+    )
+    report.row("net-throughput", mode, qps, p50, p99)
+
+
+def test_direct_in_process(report, service):
+    qps, p50, p99 = _drive(
+        lambda: service.answer_query(PAPER_QUERY))
+    _report_row(report, "direct", qps, p50, p99)
+    assert qps > 0
+
+
+def test_through_server_loop(report, service, server):
+    with QueryClient(server.host, server.port,
+                     retry=NO_RETRY) as client:
+        baseline = service.answer_query(PAPER_QUERY)
+        qps, p50, p99 = _drive(lambda: client.query(PAPER_QUERY))
+        # Same receipt over the wire as in-process (determinism).
+        assert client.query(PAPER_QUERY).receipt.claim_digest \
+            == baseline.receipt.claim_digest
+    _report_row(report, "wire", qps, p50, p99)
+    assert qps > 0
+
+
+def test_through_server_concurrent(report, server):
+    clients = [QueryClient(server.host, server.port, retry=NO_RETRY)
+               for _ in range(CONCURRENCY)]
+    per_worker = REQUESTS // CONCURRENCY
+    try:
+        latencies: list[float] = []
+
+        def worker(client: QueryClient) -> list[float]:
+            spans = []
+            for _ in range(per_worker):
+                t0 = time.perf_counter()
+                client.query(PAPER_QUERY)
+                spans.append(time.perf_counter() - t0)
+            return spans
+
+        start = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(CONCURRENCY) \
+                as pool:
+            for spans in pool.map(worker, clients):
+                latencies.extend(spans)
+        elapsed = time.perf_counter() - start
+    finally:
+        for client in clients:
+            client.close()
+    p50, p99 = _percentiles(latencies)
+    _report_row(report, f"wire-{CONCURRENCY}x",
+                len(latencies) / elapsed, p50, p99)
+    assert latencies

@@ -150,20 +150,70 @@ def cmd_aggregate(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    if args.connect is not None:
+        return _query_remote(args)
+    if args.db is None or args.bulletin is None \
+            or args.receipts is None:
+        raise ReproError(
+            "query needs either --connect HOST:PORT or all of "
+            "--db/--bulletin/--receipts")
     service = rebuild_service(args.db, args.bulletin, args.receipts)
     response = service.answer_query(args.sql)
     verifier = VerifierClient(service.bulletin)
     chain = verifier.verify_chain(service.chain.receipts())
     verified = verifier.verify_query(response, chain[-1])
+    _print_verified_query(args, response, verified)
+    service.store.close()
+    return 0
+
+
+def _query_remote(args: argparse.Namespace) -> int:
+    """Issue the query over the wire; verify from fetched material."""
+    from .net import QueryClient
+    with QueryClient(args.connect) as client:
+        response, verified = client.verified_query(args.sql)
+    _print_verified_query(args, response, verified)
+    return 0
+
+
+def _print_verified_query(args, response, verified) -> None:
     print(f"query: {args.sql}")
     for label, value in zip(verified.labels, verified.values):
         print(f"  {label} = {value}")
+    for key, values in verified.groups:
+        print(f"  [{key}] "
+              + ", ".join(f"{label}={value}" for label, value
+                          in zip(verified.labels, values)))
     print(f"  matched {verified.matched}/{verified.scanned} flows; "
           f"round {verified.round}, root {verified.root.short()}…")
     if args.out is not None:
         args.out.write_bytes(response.receipt.to_json_bytes())
         print(f"  query receipt -> {args.out}")
-    service.store.close()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .net import ProverServer
+    service = rebuild_service(args.db, args.bulletin, args.receipts)
+    server = ProverServer(
+        service, host=args.host, port=args.port,
+        request_timeout=args.request_timeout,
+        idle_timeout=args.idle_timeout)
+
+    async def run() -> None:
+        await server.start()
+        print(f"prover server listening on {server.host}:"
+              f"{server.port} ({len(service.chain)} rounds restored, "
+              f"{len(service.bulletin)} commitments)", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.store.close()
     return 0
 
 
@@ -295,13 +345,16 @@ def cmd_info(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _add_db(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--db", type=pathlib.Path, required=True,
+def _add_db(parser: argparse.ArgumentParser,
+            required: bool = True) -> None:
+    parser.add_argument("--db", type=pathlib.Path, required=required,
                         help="sqlite log store path")
 
 
-def _add_bulletin(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--bulletin", type=pathlib.Path, required=True,
+def _add_bulletin(parser: argparse.ArgumentParser,
+                  required: bool = True) -> None:
+    parser.add_argument("--bulletin", type=pathlib.Path,
+                        required=required,
                         help="bulletin-board JSON path")
 
 
@@ -332,13 +385,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_aggregate)
 
     p = sub.add_parser("query", help="prove + verify a SQL query")
-    _add_db(p)
-    _add_bulletin(p)
-    p.add_argument("--receipts", type=pathlib.Path, required=True)
+    _add_db(p, required=False)
+    _add_bulletin(p, required=False)
+    p.add_argument("--receipts", type=pathlib.Path, default=None)
+    p.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="query a running `repro serve` instance "
+                        "instead of local files")
     p.add_argument("--out", type=pathlib.Path, default=None,
                    help="write the query receipt JSON here")
     p.add_argument("sql", help="e.g. 'SELECT COUNT(*) FROM clogs'")
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("serve",
+                       help="serve the prover over TCP (repro.net)")
+    _add_db(p)
+    _add_bulletin(p)
+    p.add_argument("--receipts", type=pathlib.Path, default=None,
+                   help="replay recorded rounds from this directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7423,
+                   help="TCP port (0 picks an ephemeral one)")
+    p.add_argument("--request-timeout", type=float, default=60.0)
+    p.add_argument("--idle-timeout", type=float, default=30.0)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("verify", help="client-side chain verification")
     _add_bulletin(p)

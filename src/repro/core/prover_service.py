@@ -63,6 +63,19 @@ class ProverService:
         """Window indices already consumed by a proven round."""
         return frozenset(self._aggregated_windows)
 
+    def status(self) -> dict:
+        """Operational snapshot (the wire health endpoint's body)."""
+        return {
+            "rounds": len(self.chain),
+            "flows": len(self.state),
+            "strategy": self.strategy,
+            "aggregated_windows": sorted(self._aggregated_windows),
+            "committed_windows": self.bulletin.windows(),
+            "cached_queries": len(self._query_cache),
+            "latest_root": (self.chain.latest.new_root.hex()
+                            if len(self.chain) else None),
+        }
+
     # -- aggregation ------------------------------------------------------------
 
     def gather_window(self, window_index: int) -> list[RouterWindowInput]:

@@ -195,6 +195,23 @@ class VerifierClient:
             groups=journal_groups,
         )
 
+    def verify_response(self, response: QueryResponse,
+                        receipts: list[Receipt]) -> VerifiedQuery:
+        """Verify a query response against a full receipt chain.
+
+        This is the remote-deployment entry point: a client that
+        fetched ``receipts`` and ``response`` over the wire
+        (:class:`repro.net.QueryClient`) verifies them with exactly the
+        in-process checks — chain from genesis, then the query bound to
+        the round it claims.
+        """
+        chain = self.verify_chain(receipts)
+        if not 0 <= response.round < len(chain):
+            raise VerificationError(
+                f"response claims round {response.round} but the "
+                f"chain has {len(chain)} round(s)")
+        return self.verify_query(response, chain[response.round])
+
     # -- internals --------------------------------------------------------------------
 
     @staticmethod

@@ -129,3 +129,59 @@ class StorageError(ReproError):
 
 class SimulationError(ReproError):
     """The NetFlow simulator was driven into an invalid state."""
+
+
+# ---------------------------------------------------------------------------
+# Network / wire-protocol errors (repro.net)
+# ---------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for wire-protocol and transport failures."""
+
+
+class FrameError(NetworkError):
+    """A wire frame is malformed."""
+
+
+class TruncatedFrame(FrameError):
+    """The connection ended (or data ran out) mid-frame."""
+
+
+class FrameTooLarge(FrameError):
+    """A frame's declared payload exceeds the configured maximum."""
+
+
+class ProtocolError(NetworkError):
+    """A well-framed message violates the message protocol
+    (bad magic, unsupported version, malformed envelope...)."""
+
+
+class ConnectionFailed(NetworkError):
+    """Could not establish or keep a connection to the peer."""
+
+
+class RequestTimeout(NetworkError):
+    """A request did not complete within its deadline."""
+
+
+class RemoteError(NetworkError):
+    """The server processed a request and returned an error envelope.
+
+    ``code`` is the wire error code (see ``repro.net.messages``); the
+    original server-side exception class, when it maps to a code with a
+    message-only constructor, is re-raised as that class instead.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(f"remote error [{code}]: {message}")
+
+
+class RetryExhausted(NetworkError):
+    """All retry attempts failed; ``__cause__`` is the last error."""
+
+    def __init__(self, attempts: int, last_error: Exception) -> None:
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"request failed after {attempts} attempt(s): {last_error}")

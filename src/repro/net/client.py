@@ -1,0 +1,275 @@
+"""Client stubs for the prover wire protocol.
+
+Two roles from Figure 1 talk to the prover server:
+
+* :class:`RouterClient` — a router (or its export pipeline) publishing
+  window commitments and nudging the off-path aggregator;
+* :class:`QueryClient` — a remote verifier fetching the bulletin, the
+  receipt chain, and proven query answers.
+
+Both are deliberately *synchronous* (plain blocking sockets): the
+verifier side of the paper is thin client code that runs anywhere, and
+a sync stub composes with the CLI, tests, and benchmarks without an
+event loop.  The server side is the asyncio half.
+
+Each client keeps a small pool of idle connections; a connection that
+fails mid-request is discarded (never re-pooled) and the request is
+retried on a fresh connection under the client's
+:class:`~repro.net.retry.RetryPolicy` — which is what makes a server
+restart invisible to callers, at the price of the retried request being
+re-executed (every protocol request is idempotent: publishing is
+append-only-idempotent, queries are deterministic and cached, and
+``run-round`` re-execution fails loudly with an already-aggregated
+error rather than double-counting).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+from typing import Any
+
+from ..commitments import BulletinBoard, Commitment
+from ..errors import (
+    ConfigurationError,
+    ConnectionFailed,
+    ProtocolError,
+    RequestTimeout,
+)
+from ..serialization import query_response_from_wire
+from .framing import (
+    DEFAULT_MAX_FRAME_SIZE,
+    read_frame_from,
+    write_frame_to,
+)
+from .messages import Envelope, MessageKind, raise_remote, request
+from .retry import RetryPolicy, call_with_retry
+
+
+def parse_endpoint(endpoint: str) -> tuple[str, int]:
+    """Split ``"host:port"``; IPv6 hosts may be ``[bracketed]``."""
+    host, sep, port_text = endpoint.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"endpoint {endpoint!r} is not host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"endpoint {endpoint!r} has a non-numeric port") from None
+    if not 0 < port < 65536:
+        raise ConfigurationError(f"port {port} out of range")
+    return host.strip("[]"), port
+
+
+class ServiceClient:
+    """Shared transport: pooling, correlation ids, retries."""
+
+    def __init__(self, host: str, port: int | None = None, *,
+                 timeout: float = 10.0,
+                 retry: RetryPolicy | None = None,
+                 pool_size: int = 2,
+                 max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+                 rng: random.Random | None = None) -> None:
+        if port is None:
+            host, port = parse_endpoint(host)
+        if pool_size < 1:
+            raise ConfigurationError("pool_size must be >= 1")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.pool_size = pool_size
+        self.max_frame_size = max_frame_size
+        self._rng = rng
+        self._pool: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._closed = False
+
+    # -- pool ---------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        try:
+            return socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        except OSError as exc:
+            raise ConnectionFailed(
+                f"cannot connect to {self.host}:{self.port}: "
+                f"{exc}") from exc
+
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise ConnectionFailed("client is closed")
+            if self._pool:
+                return self._pool.pop()
+        return self._connect()
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed and len(self._pool) < self.pool_size:
+                self._pool.append(sock)
+                return
+        _quiet_close(sock)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            _quiet_close(sock)
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request/response ----------------------------------------------------
+
+    def _request(self, kind: MessageKind,
+                 body: dict[str, Any] | None = None) -> dict[str, Any]:
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+        envelope = request(request_id, kind, body)
+
+        def attempt() -> dict[str, Any]:
+            sock = self._checkout()
+            try:
+                reply = self._exchange(sock, envelope)
+            except BaseException:
+                _quiet_close(sock)  # never re-pool a tainted socket
+                raise
+            self._checkin(sock)
+            return reply
+
+        return call_with_retry(attempt, self.retry, rng=self._rng)
+
+    def _exchange(self, sock: socket.socket,
+                  envelope: Envelope) -> dict[str, Any]:
+        try:
+            write_frame_to(sock.sendall, envelope.to_bytes(),
+                           self.max_frame_size)
+            payload = read_frame_from(sock.recv, self.max_frame_size)
+        except socket.timeout as exc:
+            raise RequestTimeout(
+                f"no response from {self.host}:{self.port} within "
+                f"{self.timeout}s") from exc
+        except OSError as exc:
+            raise ConnectionFailed(
+                f"connection to {self.host}:{self.port} failed: "
+                f"{exc}") from exc
+        reply = Envelope.from_bytes(payload)
+        if reply.type == "err":
+            raise_remote(reply.body.get("code", "internal"),
+                         str(reply.body.get("message", "")))
+        if reply.type != "ok":
+            raise ProtocolError(
+                f"expected a response envelope, got {reply.type!r}")
+        if reply.request_id != envelope.request_id:
+            raise ProtocolError(
+                f"response id {reply.request_id} does not match "
+                f"request id {envelope.request_id}")
+        if reply.kind != envelope.kind:
+            raise ProtocolError(
+                f"response kind {reply.kind!r} does not match "
+                f"request kind {envelope.kind!r}")
+        return reply.body
+
+    # -- shared endpoints ----------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Server status snapshot (rounds, flows, counters...)."""
+        return self._request(MessageKind.HEALTH)
+
+    def fetch_bulletin(self) -> BulletinBoard:
+        """Rebuild the server's bulletin board from the wire."""
+        body = self._request(MessageKind.GET_BULLETIN)
+        board = BulletinBoard()
+        for wire in body["commitments"]:
+            try:
+                board.publish(Commitment.from_wire(wire))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    f"malformed commitment from server: {exc}"
+                ) from exc
+        return board
+
+
+class RouterClient(ServiceClient):
+    """Router-side stub: publish commitments, drive aggregation."""
+
+    def publish(self, commitment: Commitment) -> int:
+        """Publish one window commitment; returns the board size."""
+        body = self._request(MessageKind.COMMIT_WINDOW,
+                             {"commitment": commitment.to_wire()})
+        return body["total"]
+
+    def publish_all(self, commitments: Any) -> int:
+        """Publish an iterable of commitments (e.g. a local board);
+        returns the board size after the last publish."""
+        total = 0
+        for commitment in commitments:
+            total = self.publish(commitment)
+        return total
+
+    def run_round(self,
+                  windows: list[int] | None = None
+                  ) -> list[dict[str, Any]]:
+        """Aggregate ``windows`` (or everything committed when None).
+
+        Returns one summary dict per proven round:
+        ``{round, new_root, records, flows}``.
+        """
+        body = self._request(MessageKind.RUN_ROUND,
+                             {"windows": windows})
+        return body["rounds"]
+
+
+class QueryClient(ServiceClient):
+    """Verifier-side stub: proven queries + the material to check them."""
+
+    def query(self, sql: str,
+              round_index: int | None = None) -> Any:
+        """A proven :class:`~repro.core.query_proof.QueryResponse`."""
+        body = self._request(MessageKind.QUERY,
+                             {"sql": sql, "round": round_index})
+        return query_response_from_wire(body["response"])
+
+    def fetch_receipt_chain(self) -> list[Any]:
+        """The server's full aggregation receipt chain."""
+        from ..zkvm import Receipt
+        body = self._request(MessageKind.FETCH_RECEIPT_CHAIN)
+        try:
+            return [Receipt.from_wire(w) for w in body["receipts"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed receipt from server: {exc}") from exc
+
+    def verified_query(self, sql: str,
+                       round_index: int | None = None
+                       ) -> tuple[Any, Any]:
+        """Query, then verify entirely from fetched public material.
+
+        Pulls the bulletin and receipt chain alongside the response and
+        runs the standard client-side verification
+        (:meth:`VerifierClient.verify_response`) — the remote analogue
+        of ``TelemetrySystem.query``.  Returns
+        ``(QueryResponse, VerifiedQuery)``.
+        """
+        from ..core.verifier_client import VerifierClient
+        response = self.query(sql, round_index)
+        verifier = VerifierClient(self.fetch_bulletin())
+        verified = verifier.verify_response(response,
+                                            self.fetch_receipt_chain())
+        return response, verified
+
+
+def _quiet_close(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass

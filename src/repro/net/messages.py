@@ -1,0 +1,180 @@
+"""Typed message schema for the prover wire protocol.
+
+Every frame payload is one canonically encoded **envelope**::
+
+    {v: 1, t: "req" | "ok" | "err", id: <int>, k: <kind>, b: <body>}
+
+``id`` is a client-chosen correlation id the server echoes back; ``k``
+is the message kind (request kinds below; responses echo the request's
+kind); ``b`` is a kind-specific dict body.
+
+Request kinds and their bodies:
+
+=====================  ====================================================
+``health``             ``{}`` → server status snapshot
+``commit-window``      ``{commitment}`` → router publishes to the bulletin
+``get-bulletin``       ``{}`` → every published commitment
+``run-round``          ``{windows: [int] | None}`` → aggregation round(s)
+``query``              ``{sql, round: int | None}`` → proven QueryResponse
+``fetch-receipt-chain``  ``{}`` → the full aggregation receipt chain
+=====================  ====================================================
+
+Error envelopes carry ``{code, message}``.  Codes map both directions
+onto the :mod:`repro.errors` hierarchy: the server derives a code from
+the exception it caught (most-specific class wins), and the client
+re-raises the mapped class — so a :class:`~repro.errors.MissingCommitment`
+thrown inside the server surfaces as a ``MissingCommitment`` at the
+caller, with :class:`~repro.errors.RemoteError` as the fallback for
+codes without a message-only constructor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import (
+    ChainError,
+    FrameTooLarge,
+    IntegrityError,
+    MissingCommitment,
+    ProofError,
+    ProtocolError,
+    QueryError,
+    QuerySyntaxError,
+    RemoteError,
+    ReproError,
+    RequestTimeout,
+    SerializationError,
+    StorageError,
+    VerificationError,
+)
+from ..serialization import decode, encode
+
+PROTOCOL_VERSION = 1
+
+_ENVELOPE_TYPES = ("req", "ok", "err")
+
+
+class MessageKind(str, enum.Enum):
+    """Request kinds a server dispatches on."""
+
+    HEALTH = "health"
+    COMMIT_WINDOW = "commit-window"
+    GET_BULLETIN = "get-bulletin"
+    RUN_ROUND = "run-round"
+    QUERY = "query"
+    FETCH_RECEIPT_CHAIN = "fetch-receipt-chain"
+
+
+REQUEST_KINDS = frozenset(kind.value for kind in MessageKind)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One decoded wire message."""
+
+    type: str  # "req" | "ok" | "err"
+    request_id: int
+    kind: str
+    body: dict[str, Any]
+
+    def to_bytes(self) -> bytes:
+        return encode({
+            "v": PROTOCOL_VERSION,
+            "t": self.type,
+            "id": self.request_id,
+            "k": self.kind,
+            "b": self.body,
+        })
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "Envelope":
+        try:
+            wire = decode(payload)
+        except SerializationError as exc:
+            raise ProtocolError(
+                f"envelope is not canonically encoded: {exc}") from exc
+        if not isinstance(wire, dict):
+            raise ProtocolError("envelope must decode to a dict")
+        missing = {"v", "t", "id", "k", "b"} - set(wire)
+        if missing:
+            raise ProtocolError(
+                f"envelope missing fields: {sorted(missing)}")
+        if wire["v"] != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {wire['v']!r} "
+                f"(this side speaks {PROTOCOL_VERSION})")
+        if wire["t"] not in _ENVELOPE_TYPES:
+            raise ProtocolError(f"unknown envelope type {wire['t']!r}")
+        if not isinstance(wire["id"], int) or wire["id"] < 0:
+            raise ProtocolError("envelope id must be a non-negative int")
+        if not isinstance(wire["k"], str):
+            raise ProtocolError("envelope kind must be a string")
+        if not isinstance(wire["b"], dict):
+            raise ProtocolError("envelope body must be a dict")
+        return cls(type=wire["t"], request_id=wire["id"],
+                   kind=wire["k"], body=wire["b"])
+
+
+def request(request_id: int, kind: MessageKind | str,
+            body: dict[str, Any] | None = None) -> Envelope:
+    kind = kind.value if isinstance(kind, MessageKind) else kind
+    return Envelope("req", request_id, kind, body or {})
+
+
+def ok_response(request_id: int, kind: str,
+                body: dict[str, Any]) -> Envelope:
+    return Envelope("ok", request_id, kind, body)
+
+
+def error_response(request_id: int, kind: str, code: str,
+                   message: str) -> Envelope:
+    return Envelope("err", request_id, kind,
+                    {"code": code, "message": message})
+
+
+# -- error-code registry -----------------------------------------------------
+
+# Order matters: the first entry whose class matches (isinstance) wins,
+# so subclasses must precede their parents.
+_CODE_TABLE: tuple[tuple[str, type[ReproError]], ...] = (
+    ("missing-commitment", MissingCommitment),
+    ("integrity", IntegrityError),
+    ("query-syntax", QuerySyntaxError),
+    ("query", QueryError),
+    ("chain", ChainError),
+    ("verification", VerificationError),
+    ("proof", ProofError),
+    ("storage", StorageError),
+    ("frame-too-large", FrameTooLarge),
+    ("timeout", RequestTimeout),
+    ("bad-request", ProtocolError),
+    ("serialization", SerializationError),
+)
+
+_CODE_TO_CLASS = dict(_CODE_TABLE)
+
+INTERNAL_ERROR = "internal"
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The wire error code for a server-side exception."""
+    for code, cls in _CODE_TABLE:
+        if isinstance(exc, cls):
+            return code
+    return INTERNAL_ERROR
+
+
+def raise_remote(code: str, message: str) -> None:
+    """Re-raise a server error envelope client-side, typed.
+
+    Known codes raise the mapped :mod:`repro.errors` class (they all
+    take a single message argument); unknown or internal codes raise
+    :class:`~repro.errors.RemoteError`.
+    """
+    cls = _CODE_TO_CLASS.get(code)
+    if cls is not None:
+        raise cls(f"remote: {message}")
+    raise RemoteError(code, message)

@@ -1,0 +1,112 @@
+"""Retry with exponential backoff and jitter for client stubs.
+
+Transport-level failures (connection refused, a connection that died
+mid-frame, a request deadline) are worth retrying: the server may be
+restarting, a pooled connection may have gone stale, the network may
+hiccup.  Protocol and application errors are not — the server answered,
+the answer was an error, and sending the same request again cannot
+change it.  :class:`RetryPolicy` encodes that split plus the delay
+schedule; :func:`call_with_retry` runs a callable under it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+from ..errors import (
+    ConfigurationError,
+    ConnectionFailed,
+    RequestTimeout,
+    RetryExhausted,
+    TruncatedFrame,
+)
+
+T = TypeVar("T")
+
+#: Errors that indicate the transport (not the request) failed.
+TRANSIENT_ERRORS: tuple[type[Exception], ...] = (
+    ConnectionFailed,
+    TruncatedFrame,
+    RequestTimeout,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full-range multiplicative jitter.
+
+    Attempt ``n`` (0-based) sleeps ``base_delay * multiplier**n``
+    before retrying, clamped to ``max_delay``, then scaled by a random
+    factor in ``[1 - jitter, 1 + jitter]`` so a fleet of clients
+    retrying against a restarted server doesn't stampede in lockstep.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.2
+    retryable: tuple[type[Exception], ...] = field(
+        default=TRANSIENT_ERRORS)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int,
+              rng: random.Random | None = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        base = min(self.base_delay * self.multiplier ** attempt,
+                   self.max_delay)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = rng or random
+        return base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+    def delays(self, rng: random.Random | None = None
+               ) -> Iterator[float]:
+        """The full schedule: one delay per retry (attempts - 1)."""
+        for attempt in range(self.max_attempts - 1):
+            yield self.delay(attempt, rng)
+
+    def is_retryable(self, exc: Exception) -> bool:
+        return isinstance(exc, self.retryable)
+
+
+#: One attempt, no delays — for callers that do their own retrying.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def call_with_retry(fn: Callable[[], T], policy: RetryPolicy,
+                    rng: random.Random | None = None,
+                    sleep: Callable[[float], None] = time.sleep) -> T:
+    """Run ``fn`` under ``policy``.
+
+    Non-retryable exceptions propagate immediately.  When every attempt
+    fails with a retryable error, raises
+    :class:`~repro.errors.RetryExhausted` with the last error chained
+    as ``__cause__``.  ``rng`` and ``sleep`` are injectable for
+    deterministic tests.
+    """
+    last_error: Exception | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except Exception as exc:
+            if not policy.is_retryable(exc):
+                raise
+            last_error = exc
+            if attempt + 1 < policy.max_attempts:
+                sleep(policy.delay(attempt, rng))
+    assert last_error is not None
+    raise RetryExhausted(policy.max_attempts, last_error) \
+        from last_error

@@ -208,3 +208,104 @@ def decode_stream(data: bytes) -> Iterator[Any]:
     reader = _Reader(data)
     while reader.pos < len(data):
         yield _decode(reader)
+
+
+# ---------------------------------------------------------------------------
+# Typed wire codecs
+# ---------------------------------------------------------------------------
+# Canonical byte forms for the structures that cross the network
+# boundary (repro.net).  Imports are local: the domain modules import
+# this one for the primitive codec.  Shape errors from hostile bytes
+# (missing keys, wrong types) surface as SerializationError, never as
+# bare KeyError/TypeError.
+
+
+def _decode_wire_dict(data: bytes, what: str) -> dict:
+    wire = decode(data)
+    if not isinstance(wire, dict):
+        raise SerializationError(
+            f"{what} encoding must be a dict, got "
+            f"{type(wire).__name__}")
+    return wire
+
+
+def encode_commitment(commitment: Any) -> bytes:
+    """Canonical bytes for a :class:`~repro.commitments.Commitment`."""
+    return encode(commitment.to_wire())
+
+
+def decode_commitment(data: bytes) -> Any:
+    from .commitments import Commitment
+    wire = _decode_wire_dict(data, "commitment")
+    try:
+        return Commitment.from_wire(wire)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed commitment: {exc}") from exc
+
+
+def encode_receipt(receipt: Any) -> bytes:
+    """Canonical bytes for a :class:`~repro.zkvm.Receipt` (equal to
+    ``receipt.to_bytes()``; provided here so wire code has one
+    codec module for every shipped structure)."""
+    return encode(receipt.to_wire())
+
+
+def decode_receipt(data: bytes) -> Any:
+    from .zkvm import Receipt
+    wire = _decode_wire_dict(data, "receipt")
+    try:
+        return Receipt.from_wire(wire)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed receipt: {exc}") from exc
+
+
+def query_response_to_wire(response: Any) -> dict[str, Any]:
+    """Wire dict for a :class:`~repro.core.query_proof.QueryResponse`.
+
+    Field-for-field, with the receipt nested in its own wire form and
+    tuples lowered to lists (the canonical codec's sequence type).
+    """
+    return {
+        "sql": response.sql,
+        "labels": list(response.labels),
+        "values": list(response.values),
+        "matched": response.matched,
+        "scanned": response.scanned,
+        "round": response.round,
+        "root": response.root,
+        "receipt": response.receipt.to_wire(),
+        "group_by": response.group_by,
+        "groups": [[key, list(values)]
+                   for key, values in response.groups],
+    }
+
+
+def query_response_from_wire(wire: dict[str, Any]) -> Any:
+    from .core.query_proof import QueryResponse
+    from .zkvm import Receipt
+    try:
+        return QueryResponse(
+            sql=wire["sql"],
+            labels=tuple(wire["labels"]),
+            values=tuple(wire["values"]),
+            matched=wire["matched"],
+            scanned=wire["scanned"],
+            round=wire["round"],
+            root=wire["root"],
+            receipt=Receipt.from_wire(wire["receipt"]),
+            group_by=wire["group_by"],
+            groups=tuple((key, tuple(values))
+                         for key, values in wire["groups"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"malformed query response: {exc}") from exc
+
+
+def encode_query_response(response: Any) -> bytes:
+    return encode(query_response_to_wire(response))
+
+
+def decode_query_response(data: bytes) -> Any:
+    return query_response_from_wire(
+        _decode_wire_dict(data, "query response"))

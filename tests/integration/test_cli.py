@@ -175,3 +175,51 @@ class TestVerifyRejections:
         code = main(["verify", "--bulletin", str(bulletin),
                      "--receipts", str(_db.parent / "nowhere")])
         assert code == 2
+
+
+class TestServe:
+    def test_serve_and_remote_query(self, workspace, capsys):
+        """`repro serve` in a subprocess; `repro query --connect` to it."""
+        import os
+        import re
+        import subprocess
+        import sys
+
+        db, bulletin, receipts = workspace
+        assert main(["aggregate", "--db", str(db),
+                     "--bulletin", str(bulletin),
+                     "--receipts", str(receipts)]) == 0
+        capsys.readouterr()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--db", str(db), "--bulletin", str(bulletin),
+             "--receipts", str(receipts), "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, text=True)
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+            assert match, f"unexpected serve banner: {banner!r}"
+            endpoint = f"{match.group(1)}:{match.group(2)}"
+
+            assert main(["query", "--connect", endpoint,
+                         "SELECT COUNT(*) FROM clogs"]) == 0
+            out = capsys.readouterr().out
+            assert "COUNT(*)" in out
+            assert "matched" in out
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_query_requires_connect_or_files(self, capsys):
+        assert main(["query", "SELECT COUNT(*) FROM clogs"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_connect_to_dead_server_is_a_clean_error(self, capsys):
+        assert main(["query", "--connect", "127.0.0.1:1",
+                     "SELECT COUNT(*) FROM clogs"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,34 @@
+"""Smoke test: every example script imports and its main() runs.
+
+Examples are the repo's living documentation; a refactor that breaks
+one should fail the suite, not wait for a reader to notice.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_main_runs(path: pathlib.Path, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{path.stem}", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    # __name__ != "__main__" here, so importing must not run main().
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), \
+        f"{path.name} has no main() entry point"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} printed nothing"

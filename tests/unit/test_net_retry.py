@@ -1,0 +1,124 @@
+"""Unit tests: retry policy, backoff schedule, jitter bounds."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConnectionFailed,
+    QueryError,
+    RetryExhausted,
+)
+from repro.net.retry import NO_RETRY, RetryPolicy, call_with_retry
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1,
+                             multiplier=2.0, max_delay=10.0,
+                             jitter=0.0)
+        assert list(policy.delays()) == pytest.approx(
+            [0.1, 0.2, 0.4, 0.8])
+
+    def test_max_delay_clamps(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=1.0,
+                             multiplier=10.0, max_delay=3.0,
+                             jitter=0.0)
+        assert list(policy.delays()) == pytest.approx(
+            [1.0, 3.0, 3.0, 3.0, 3.0])
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0,
+                             jitter=0.25)
+        rng = random.Random(42)
+        samples = [policy.delay(0, rng) for _ in range(500)]
+        assert all(0.75 <= s <= 1.25 for s in samples)
+        # and it actually jitters
+        assert max(samples) - min(samples) > 0.1
+
+    def test_schedule_length_is_attempts_minus_one(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.0)
+        assert len(list(policy.delays())) == 3
+        assert list(NO_RETRY.delays()) == []
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"multiplier": 0.5},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestCallWithRetry:
+    def _policy(self, attempts=3):
+        return RetryPolicy(max_attempts=attempts, base_delay=0.01,
+                           jitter=0.0)
+
+    def test_success_passes_through(self):
+        assert call_with_retry(lambda: 42, self._policy()) == 42
+
+    def test_retries_transient_then_succeeds(self):
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionFailed("refused")
+            return "ok"
+
+        result = call_with_retry(flaky, self._policy(),
+                                 sleep=slept.append)
+        assert result == "ok"
+        assert len(calls) == 3
+        assert slept == pytest.approx([0.01, 0.02])
+
+    def test_exhaustion_raises_with_cause(self):
+        def always_down():
+            raise ConnectionFailed("refused")
+
+        with pytest.raises(RetryExhausted) as info:
+            call_with_retry(always_down, self._policy(attempts=4),
+                            sleep=lambda _s: None)
+        assert info.value.attempts == 4
+        assert isinstance(info.value.__cause__, ConnectionFailed)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def bad_request():
+            calls.append(1)
+            raise QueryError("bad sql")
+
+        with pytest.raises(QueryError):
+            call_with_retry(bad_request, self._policy())
+        assert len(calls) == 1
+
+    def test_no_retry_policy_makes_one_attempt(self):
+        calls = []
+
+        def always_down():
+            calls.append(1)
+            raise ConnectionFailed("refused")
+
+        with pytest.raises(RetryExhausted):
+            call_with_retry(always_down, NO_RETRY)
+        assert len(calls) == 1
+
+    def test_deterministic_with_seeded_rng(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.05,
+                             jitter=0.5)
+        sleeps_a, sleeps_b = [], []
+        for sleeps in (sleeps_a, sleeps_b):
+            def always_down():
+                raise ConnectionFailed("refused")
+            with pytest.raises(RetryExhausted):
+                call_with_retry(always_down, policy,
+                                rng=random.Random(7),
+                                sleep=sleeps.append)
+        assert sleeps_a == sleeps_b
