@@ -4,14 +4,23 @@ Benchmarks register result rows with the session-scoped
 :class:`ExperimentReport`; at session end the report is printed to the
 terminal (so it lands in ``bench_output.txt``) and written to
 ``benchmarks/results/summary.txt``.
+
+Every benchmark also runs with a fresh observability capture
+(``repro.obs``): its metrics snapshot is attached to the
+pytest-benchmark result as ``extra_info["obs"]`` and collected into
+``benchmarks/results/obs_snapshots.json`` — so each saved bench number
+carries the cycle/segment accounting that produced it.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
 import pytest
+
+from repro.obs import runtime as obs_runtime
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
@@ -63,17 +72,49 @@ def _fmt(value) -> str:
 
 _REPORT = ExperimentReport()
 
+_OBS_SNAPSHOTS: dict[str, dict] = {}
+
 
 @pytest.fixture(scope="session")
 def report() -> ExperimentReport:
     return _REPORT
 
 
-def pytest_terminal_summary(terminalreporter):
-    if not _REPORT.has_results:
+@pytest.fixture(autouse=True)
+def _obs_capture(request):
+    """A fresh metrics capture per benchmark.
+
+    Capture cost is a handful of dict operations per aggregation
+    round — noise next to the hashing/proving work being timed — and
+    buys a per-benchmark record of cycles, segments, and request
+    counts alongside the wall-clock numbers.
+    """
+    with obs_runtime.capture() as cap:
+        yield
+        snapshot = cap.registry.snapshot()
+    if not any(snapshot[kind] for kind in snapshot):
         return
-    rendered = _REPORT.render()
-    terminalreporter.write_sep("=", "paper-vs-measured experiment report")
-    terminalreporter.write_line(rendered)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "summary.txt").write_text(rendered + "\n")
+    _OBS_SNAPSHOTS[request.node.nodeid] = snapshot
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is not None:
+        benchmark.extra_info["obs"] = snapshot
+
+
+def pytest_terminal_summary(terminalreporter):
+    wrote = []
+    if _OBS_SNAPSHOTS:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / "obs_snapshots.json"
+        path.write_text(json.dumps(_OBS_SNAPSHOTS, indent=2,
+                                   sort_keys=True) + "\n")
+        wrote.append(str(path))
+    if _REPORT.has_results:
+        rendered = _REPORT.render()
+        terminalreporter.write_sep(
+            "=", "paper-vs-measured experiment report")
+        terminalreporter.write_line(rendered)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "summary.txt").write_text(rendered + "\n")
+        wrote.append(str(RESULTS_DIR / "summary.txt"))
+    for path in wrote:
+        terminalreporter.write_line(f"wrote {path}")

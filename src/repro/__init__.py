@@ -28,6 +28,8 @@ Packages:
 * :mod:`repro.query` — the SQL-subset query language.
 * :mod:`repro.sketch` — pluggable sketching telemetry summaries.
 * :mod:`repro.baselines` — TEE and signed-log comparators.
+* :mod:`repro.obs` — tracing/metrics/profiling (no-op until enabled);
+  see ``docs/OBSERVABILITY.md`` for the instrumentation contract.
 """
 
 from ._version import __version__

@@ -195,6 +195,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .net import ProverServer
+    if args.metrics:
+        from .obs import runtime as obs_runtime
+        obs_runtime.enable()
     service = rebuild_service(args.db, args.bulletin, args.receipts)
     server = ProverServer(
         service, host=args.host, port=args.port,
@@ -205,7 +208,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         await server.start()
         print(f"prover server listening on {server.host}:"
               f"{server.port} ({len(service.chain)} rounds restored, "
-              f"{len(service.bulletin)} commitments)", flush=True)
+              f"{len(service.bulletin)} commitments"
+              + (", metrics on" if args.metrics else "") + ")",
+              flush=True)
         await server.serve_forever()
 
     try:
@@ -214,6 +219,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         service.store.close()
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Dump an observability snapshot as JSON.
+
+    With ``--connect``, fetches the snapshot from a running
+    ``repro serve --metrics`` instance; otherwise dumps this process's
+    own (usually empty unless ``REPRO_OBS`` is set).
+    """
+    from .obs import runtime as obs_runtime
+    if args.connect is not None:
+        from .net import ServiceClient
+        with ServiceClient(args.connect) as client:
+            snapshot = client.fetch_metrics()
+    else:
+        snapshot = obs_runtime.metrics_snapshot()
+    text = json.dumps(snapshot, indent=2, sort_keys=True)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        print(f"metrics snapshot -> {args.out}")
+    else:
+        print(text)
+    if not snapshot.get("enabled", False):
+        print("note: observability is disabled on the target; start "
+              "it with `repro serve --metrics` (or REPRO_OBS=1)",
+              file=sys.stderr)
     return 0
 
 
@@ -407,7 +439,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TCP port (0 picks an ephemeral one)")
     p.add_argument("--request-timeout", type=float, default=60.0)
     p.add_argument("--idle-timeout", type=float, default=30.0)
+    p.add_argument("--metrics", action="store_true",
+                   help="enable the repro.obs registry/tracer; the "
+                        "`metrics` wire endpoint then serves live "
+                        "counters")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("metrics",
+                       help="dump an observability snapshot (JSON)")
+    p.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="fetch from a running `repro serve --metrics` "
+                        "instance")
+    p.add_argument("--out", type=pathlib.Path, default=None,
+                   help="write the snapshot here instead of stdout")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("verify", help="client-side chain verification")
     _add_bulletin(p)

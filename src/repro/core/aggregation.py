@@ -9,11 +9,14 @@ new root, and the window commitments consumed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
 from ..errors import ChainError, ProofError
 from ..hashing import Digest
+from ..obs import names as obs_names
+from ..obs import runtime as obs
 from ..zkvm import ExecutorEnvBuilder, ProveInfo, Prover, ProverOpts, Receipt
 from ..zkvm.recursion import resolve
 from .clog import CLogState
@@ -100,6 +103,26 @@ class Aggregator:
             raise ChainError(
                 f"round {state.round} requires the round "
                 f"{state.round - 1} receipt")
+        start = time.perf_counter()
+        with obs.tracer().span(obs_names.SPAN_AGG_ROUND,
+                               round=state.round,
+                               windows=len(windows)) as span:
+            result = self._aggregate_inner(state, windows,
+                                           prev_receipt, span)
+        registry = obs.registry()
+        registry.counter(obs_names.AGG_ROUNDS, ("strategy",)).inc(
+            strategy="update")
+        registry.counter(obs_names.AGG_RECORDS, ("strategy",)).inc(
+            result.record_count, strategy="update")
+        registry.histogram(obs_names.AGG_SECONDS,
+                           ("strategy",)).observe(
+            time.perf_counter() - start, strategy="update")
+        return result
+
+    def _aggregate_inner(self, state: CLogState,
+                         windows: list[RouterWindowInput],
+                         prev_receipt: Receipt | None,
+                         span) -> AggregationResult:
         ordered = sorted(windows,
                          key=lambda w: (w.router_id, w.window_index))
         records = []
@@ -108,7 +131,10 @@ class Aggregator:
         for window in ordered:
             for blob in window.blobs:
                 records.append(NetFlowRecord.from_wire(decode(blob)))
-        witness = build_witness(state, records, self.policy)
+        with obs.tracer().span(obs_names.SPAN_AGG_WITNESS,
+                               records=len(records)) as witness_span:
+            witness = build_witness(state, records, self.policy)
+            witness_span.set("ops", witness.op_count)
         builder = ExecutorEnvBuilder()
         builder.write({
             "round": state.round,
@@ -140,6 +166,8 @@ class Aggregator:
             raise ProofError(
                 "guest-computed root diverged from the host witness — "
                 "host/guest aggregation logic is out of sync")
+        span.add_cycles(info.stats.total_cycles)
+        span.set("records", len(records))
         return AggregationResult(
             round=state.round,
             receipt=receipt,

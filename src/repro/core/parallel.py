@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..hashing import Digest
+from ..obs import names as obs_names
+from ..obs import runtime as obs
 from ..zkvm import ExecutorEnvBuilder, ProveInfo, Prover, ProverOpts, Receipt
 from ..zkvm.costmodel import CostModel, ProverBackend
 from ..zkvm.recursion import resolve_all
@@ -76,11 +78,16 @@ class ParallelAggregator:
         if not windows:
             raise ConfigurationError("no windows to aggregate")
         partitions = self._partition(windows, num_partitions)
-        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            partition_infos = list(pool.map(self._prove_partition,
-                                            range(len(partitions)),
-                                            partitions))
-        merge_info, receipt = self._prove_merge(partition_infos)
+        obs.registry().counter(obs_names.PARALLEL_PARTITIONS).inc(
+            len(partitions))
+        with obs.tracer().span(obs_names.SPAN_PARALLEL_ROUND,
+                               partitions=len(partitions)):
+            with ThreadPoolExecutor(
+                    max_workers=self._max_workers) as pool:
+                partition_infos = list(
+                    pool.map(self._prove_partition,
+                             range(len(partitions)), partitions))
+            merge_info, receipt = self._prove_merge(partition_infos)
         header = next(receipt.journal.values())
         return ParallelAggregationResult(
             receipt=receipt,
@@ -124,7 +131,13 @@ class ParallelAggregator:
                 "commitment": window.commitment,
                 "blobs": list(window.blobs),
             })
-        return Prover(self._opts).prove(partition_guest, builder.build())
+        with obs.tracer().span(obs_names.SPAN_PARALLEL_PARTITION,
+                               partition=index,
+                               routers=len(windows)) as span:
+            info = Prover(self._opts).prove(partition_guest,
+                                            builder.build())
+            span.add_cycles(info.stats.total_cycles)
+        return info
 
     def _prove_merge(self, partition_infos: list[ProveInfo]
                      ) -> tuple[ProveInfo, Receipt]:
@@ -136,9 +149,12 @@ class ParallelAggregator:
         })
         for info in partition_infos:
             builder.write(make_receipt_binding(info.receipt))
-        merge_info = Prover(self._opts).prove(merge_guest,
-                                              builder.build())
-        receipt = resolve_all(
-            merge_info.receipt,
-            [info.receipt for info in partition_infos])
+        with obs.tracer().span(obs_names.SPAN_PARALLEL_MERGE,
+                               partitions=len(partition_infos)) as span:
+            merge_info = Prover(self._opts).prove(merge_guest,
+                                                  builder.build())
+            span.add_cycles(merge_info.stats.total_cycles)
+            receipt = resolve_all(
+                merge_info.receipt,
+                [info.receipt for info in partition_infos])
         return merge_info, receipt

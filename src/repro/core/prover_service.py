@@ -13,6 +13,8 @@ import logging
 
 from ..commitments import BulletinBoard
 from ..errors import MissingCommitment, ProofError
+from ..obs import names as obs_names
+from ..obs import runtime as obs
 from ..storage.backend import LogStore
 from ..zkvm import ProveInfo, ProverOpts
 from .aggregation import (
@@ -132,6 +134,10 @@ class ProverService:
         ))
         self._aggregated_windows.update(window_indices)
         self.last_prove_info = result.info
+        registry = obs.registry()
+        registry.gauge(obs_names.SERVICE_FLOWS).set(
+            len(result.new_state))
+        registry.gauge(obs_names.SERVICE_ROUNDS).set(len(self.chain))
         logger.info(
             "round %d proven: windows=%s records=%d flows=%d root=%s…",
             result.round, sorted(window_indices), result.record_count,
@@ -169,7 +175,11 @@ class ProverService:
         if use_cache:
             cached = self._query_cache.get(cache_key)
             if cached is not None:
+                obs.registry().counter(obs_names.SERVICE_QUERY_CACHE,
+                                       ("result",)).inc(result="hit")
                 return cached
+        obs.registry().counter(obs_names.SERVICE_QUERY_CACHE,
+                               ("result",)).inc(result="miss")
         if round_index is None:
             state, receipt = self.state, self.chain.latest.receipt
         else:

@@ -9,11 +9,14 @@ CLog entry — only the public journal.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
 from ..errors import ProofError
 from ..hashing import Digest
+from ..obs import names as obs_names
+from ..obs import runtime as obs
 from ..zkvm import ExecutorEnvBuilder, ProveInfo, Prover, ProverOpts, Receipt
 from ..zkvm.recursion import resolve
 from .aggregation import make_receipt_binding
@@ -75,14 +78,22 @@ class QueryProver:
         The guest receives the *full* entry set and re-derives the
         committed root, so the prover cannot hide or substitute entries.
         """
-        builder = ExecutorEnvBuilder()
-        builder.write({"query": sql, "num_entries": len(state)})
-        builder.write(make_receipt_binding(agg_receipt))
-        for entry in state.entries_in_slot_order():
-            builder.write({"key": entry.key.pack(),
-                           "payload": entry.to_payload()})
-        info = self._prover.prove(query_guest, builder.build())
-        receipt = resolve(info.receipt, agg_receipt)
+        start = time.perf_counter()
+        with obs.tracer().span(obs_names.SPAN_QUERY_PROVE, sql=sql,
+                               entries=len(state)) as span:
+            builder = ExecutorEnvBuilder()
+            builder.write({"query": sql, "num_entries": len(state)})
+            builder.write(make_receipt_binding(agg_receipt))
+            for entry in state.entries_in_slot_order():
+                builder.write({"key": entry.key.pack(),
+                               "payload": entry.to_payload()})
+            info = self._prover.prove(query_guest, builder.build())
+            receipt = resolve(info.receipt, agg_receipt)
+            span.add_cycles(info.stats.total_cycles)
+        registry = obs.registry()
+        registry.counter(obs_names.QUERY_PROOFS).inc()
+        registry.histogram(obs_names.QUERY_SECONDS).observe(
+            time.perf_counter() - start)
         journal = _query_journal(receipt)
         return QueryResponse(
             sql=sql,

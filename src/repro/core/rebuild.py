@@ -21,10 +21,13 @@ and locates the crossover.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from ..errors import ChainError, ProofError
 from ..merkle import MerkleTree
+from ..obs import names as obs_names
+from ..obs import runtime as obs
 from ..merkle.tree import EMPTY_ROOTS
 from ..netflow.records import NetFlowRecord
 from ..serialization import decode, decode_stream
@@ -186,6 +189,29 @@ class RebuildAggregator:
             raise ChainError(
                 f"round {state.round} requires the round "
                 f"{state.round - 1} receipt")
+        start = time.perf_counter()
+        with obs.tracer().span(obs_names.SPAN_AGG_ROUND,
+                               round=state.round,
+                               windows=len(windows),
+                               strategy="rebuild") as span:
+            result = self._aggregate_inner(state, windows,
+                                           prev_receipt)
+            span.add_cycles(result.info.stats.total_cycles)
+            span.set("records", result.record_count)
+        registry = obs.registry()
+        registry.counter(obs_names.AGG_ROUNDS, ("strategy",)).inc(
+            strategy="rebuild")
+        registry.counter(obs_names.AGG_RECORDS, ("strategy",)).inc(
+            result.record_count, strategy="rebuild")
+        registry.histogram(obs_names.AGG_SECONDS,
+                           ("strategy",)).observe(
+            time.perf_counter() - start, strategy="rebuild")
+        return result
+
+    def _aggregate_inner(self, state: CLogState,
+                         windows: list[RouterWindowInput],
+                         prev_receipt: Receipt | None
+                         ) -> AggregationResult:
         ordered = sorted(windows,
                          key=lambda w: (w.router_id, w.window_index))
         builder = ExecutorEnvBuilder()

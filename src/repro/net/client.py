@@ -28,9 +28,12 @@ from __future__ import annotations
 import random
 import socket
 import threading
+import time
 from typing import Any
 
 from ..commitments import BulletinBoard, Commitment
+from ..obs import names as obs_names
+from ..obs import runtime as obs
 from ..errors import (
     ConfigurationError,
     ConnectionFailed,
@@ -135,8 +138,18 @@ class ServiceClient:
             request_id = self._next_id
             self._next_id += 1
         envelope = request(request_id, kind, body)
+        kind_label = envelope.kind
+        registry = obs.registry()
+        attempts = 0
 
         def attempt() -> dict[str, Any]:
+            nonlocal attempts
+            attempts += 1
+            registry.counter(obs_names.NET_CLIENT_ATTEMPTS,
+                             ("kind",)).inc(kind=kind_label)
+            if attempts > 1:
+                registry.counter(obs_names.NET_CLIENT_RETRIES,
+                                 ("kind",)).inc(kind=kind_label)
             sock = self._checkout()
             try:
                 reply = self._exchange(sock, envelope)
@@ -146,14 +159,42 @@ class ServiceClient:
             self._checkin(sock)
             return reply
 
-        return call_with_retry(attempt, self.retry, rng=self._rng)
+        start = time.perf_counter()
+        with obs.tracer().span(obs_names.SPAN_NET_CLIENT_REQUEST,
+                               kind=kind_label) as span:
+            try:
+                reply = call_with_retry(attempt, self.retry,
+                                        rng=self._rng)
+            except Exception as exc:
+                registry.counter(obs_names.NET_CLIENT_REQUESTS,
+                                 ("kind", "status")).inc(
+                    kind=kind_label, status="err")
+                registry.counter(obs_names.NET_CLIENT_ERRORS,
+                                 ("kind", "error")).inc(
+                    kind=kind_label, error=type(exc).__name__)
+                raise
+            span.set("attempts", attempts)
+        registry.counter(obs_names.NET_CLIENT_REQUESTS,
+                         ("kind", "status")).inc(kind=kind_label,
+                                                 status="ok")
+        registry.histogram(obs_names.NET_CLIENT_SECONDS,
+                           ("kind",)).observe(
+            time.perf_counter() - start, kind=kind_label)
+        return reply
 
     def _exchange(self, sock: socket.socket,
                   envelope: Envelope) -> dict[str, Any]:
+        registry = obs.registry()
         try:
-            write_frame_to(sock.sendall, envelope.to_bytes(),
-                           self.max_frame_size)
+            data = envelope.to_bytes()
+            write_frame_to(sock.sendall, data, self.max_frame_size)
+            registry.counter(obs_names.NET_CLIENT_BYTES,
+                             ("direction",)).inc(len(data),
+                                                 direction="out")
             payload = read_frame_from(sock.recv, self.max_frame_size)
+            registry.counter(obs_names.NET_CLIENT_BYTES,
+                             ("direction",)).inc(len(payload),
+                                                 direction="in")
         except socket.timeout as exc:
             raise RequestTimeout(
                 f"no response from {self.host}:{self.port} within "
@@ -184,6 +225,15 @@ class ServiceClient:
     def health(self) -> dict[str, Any]:
         """Server status snapshot (rounds, flows, counters...)."""
         return self._request(MessageKind.HEALTH)
+
+    def fetch_metrics(self) -> dict[str, Any]:
+        """The server's observability snapshot.
+
+        Returns ``{"enabled": bool, "metrics": {...}}``; ``metrics`` is
+        the registry snapshot (empty families when the server runs with
+        the default no-op registry).
+        """
+        return self._request(MessageKind.METRICS)
 
     def fetch_bulletin(self) -> BulletinBoard:
         """Rebuild the server's bulletin board from the wire."""

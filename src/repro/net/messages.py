@@ -17,6 +17,9 @@ Request kinds and their bodies:
 ``run-round``          ``{windows: [int] | None}`` → aggregation round(s)
 ``query``              ``{sql, round: int | None}`` → proven QueryResponse
 ``fetch-receipt-chain``  ``{}`` → the full aggregation receipt chain
+``metrics``            ``{}`` → observability snapshot
+                       (``{enabled, metrics}``; empty when the server
+                       runs with the default no-op registry)
 =====================  ====================================================
 
 Error envelopes carry ``{code, message}``.  Codes map both directions
@@ -66,6 +69,7 @@ class MessageKind(str, enum.Enum):
     RUN_ROUND = "run-round"
     QUERY = "query"
     FETCH_RECEIPT_CHAIN = "fetch-receipt-chain"
+    METRICS = "metrics"
 
 
 REQUEST_KINDS = frozenset(kind.value for kind in MessageKind)

@@ -30,9 +30,12 @@ from __future__ import annotations
 import asyncio
 import logging
 import threading
+import time
 from typing import Any, Callable
 
 from ..commitments import Commitment
+from ..obs import names as obs_names
+from ..obs import runtime as obs
 from ..errors import (
     FrameError,
     NetworkError,
@@ -183,7 +186,10 @@ class ProverServer:
                                  writer: asyncio.StreamWriter) -> None:
         assert self._conn_slots is not None
         peer = writer.get_extra_info("peername")
+        connections = obs.registry().gauge(
+            obs_names.NET_SERVER_CONNECTIONS)
         async with self._conn_slots:
+            connections.inc()
             try:
                 await self._serve_connection(reader, writer)
             except (ConnectionResetError, BrokenPipeError):
@@ -191,6 +197,7 @@ class ProverServer:
             except Exception:
                 logger.exception("connection %s crashed", peer)
             finally:
+                connections.dec()
                 writer.close()
                 try:
                     await writer.wait_closed()
@@ -217,13 +224,37 @@ class ProverServer:
                 return
             if payload is None:
                 return  # clean EOF
-            response = await self._process(payload)
+            registry = obs.registry()
+            registry.counter(obs_names.NET_SERVER_BYTES,
+                             ("direction",)).inc(len(payload),
+                                                 direction="in")
+            start = time.perf_counter()
+            with obs.tracer().span(
+                    obs_names.SPAN_NET_SERVER_REQUEST) as span:
+                response = await self._process(payload)
+                span.set("kind", response.kind)
+                span.set("status", response.type)
+            status = "ok" if response.type == "ok" else "err"
+            registry.counter(obs_names.NET_SERVER_REQUESTS,
+                             ("kind", "status")).inc(
+                kind=response.kind, status=status)
+            registry.histogram(obs_names.NET_SERVER_SECONDS,
+                               ("kind",)).observe(
+                time.perf_counter() - start, kind=response.kind)
             self.requests_served += 1
             if response.type == "err":
                 self.errors_returned += 1
+                registry.counter(obs_names.NET_SERVER_ERRORS,
+                                 ("kind", "code")).inc(
+                    kind=response.kind,
+                    code=str(response.body.get("code", "unknown")))
+            out_bytes = response.to_bytes()
+            registry.counter(obs_names.NET_SERVER_BYTES,
+                             ("direction",)).inc(len(out_bytes),
+                                                 direction="out")
             try:
                 await asyncio.wait_for(
-                    write_frame(writer, response.to_bytes(),
+                    write_frame(writer, out_bytes,
                                 self.max_frame_size),
                     timeout=self.idle_timeout)
             except asyncio.TimeoutError:
@@ -287,6 +318,8 @@ class ProverServer:
                         body: dict[str, Any]) -> dict[str, Any]:
         if kind == MessageKind.HEALTH.value:
             return self._handle_health()
+        if kind == MessageKind.METRICS.value:
+            return obs.metrics_snapshot()
         if kind == MessageKind.GET_BULLETIN.value:
             return self._handle_get_bulletin()
         if kind == MessageKind.COMMIT_WINDOW.value:

@@ -1,0 +1,64 @@
+"""repro.obs — dependency-free tracing, metrics, and profiling.
+
+The observability layer the scaling roadmap measures against: a
+labeled-series :class:`MetricsRegistry` (counters, gauges, fixed-bucket
+histograms) with JSON snapshot/export, a :class:`Tracer` producing
+nested spans over wall time and zkVM cycle deltas, and a process-wide
+:mod:`~repro.obs.runtime` context that defaults to shared no-op
+objects so instrumentation is zero-cost until enabled.
+
+Every span and metric name is part of a tested public contract — see
+:mod:`repro.obs.names` and ``docs/OBSERVABILITY.md``.
+
+Quick use::
+
+    from repro.obs import runtime as obs
+
+    handle = obs.enable()
+    ...run an aggregation round, serve queries...
+    print(handle.registry.to_json(indent=2))
+    print(handle.exporter.names())
+"""
+
+from . import names, runtime
+from .metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from .runtime import ObsHandle, capture, disable, enable, is_enabled
+from .tracing import (
+    InMemorySpanExporter,
+    NullTracer,
+    NULL_TRACER,
+    Span,
+    SpanData,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "InMemorySpanExporter",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "ObsHandle",
+    "Span",
+    "SpanData",
+    "Tracer",
+    "capture",
+    "disable",
+    "enable",
+    "is_enabled",
+    "names",
+    "runtime",
+]

@@ -1,0 +1,342 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns a flat namespace of metric *families*;
+each family has a declared tuple of label names and holds one *series*
+per distinct label-value combination (like Prometheus client models,
+but dependency-free).  Everything is guarded by per-family locks so the
+asyncio server thread, ``ThreadPoolExecutor`` prover workers, and test
+threads can all write concurrently without losing updates.
+
+The registry snapshots to plain JSON-compatible data
+(:meth:`MetricsRegistry.snapshot`) and rebuilds from such a snapshot
+(:meth:`MetricsRegistry.from_snapshot`) — the round-trip is exact,
+which the property suite pins down.
+
+When observability is disabled the module's ``NULL_REGISTRY`` stands in
+for a real registry: every method resolves to a shared no-op object, so
+instrumented hot paths cost a couple of attribute lookups and nothing
+else.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Any, Iterable, Mapping
+
+from ..errors import ConfigurationError
+
+#: Default histogram bucket upper bounds for latencies in seconds.
+#: The last implicit bucket is +inf (the overflow slot).
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+def _label_key(label_names: tuple[str, ...],
+               labels: Mapping[str, Any]) -> tuple[str, ...]:
+    """Validate and canonicalise one series' label values."""
+    if set(labels) != set(label_names):
+        raise ConfigurationError(
+            f"labels {sorted(labels)} do not match declared label "
+            f"names {sorted(label_names)}")
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class _Family:
+    """Shared plumbing for one named metric family."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, label_names: tuple[str, ...]) -> None:
+        self.name = name
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], Any] = {}
+
+    def _ordered_series(self) -> list[tuple[tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+    def labels_of(self, key: tuple[str, ...]) -> dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+
+class Counter(_Family):
+    """Monotonically increasing count (events, bytes, cycles...)."""
+
+    kind = "counter"
+
+    def inc(self, amount: int | float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> int | float:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._series.get(key, 0)
+
+
+class Gauge(_Family):
+    """A value that can go up and down (sizes, in-flight work...)."""
+
+    kind = "gauge"
+
+    def set(self, value: int | float, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._series[key] = value
+
+    def inc(self, amount: int | float = 1, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: int | float = 1, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> int | float:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._series.get(key, 0)
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution; the final bucket is +inf overflow.
+
+    Per series we keep ``len(buckets) + 1`` non-cumulative counts plus
+    the running sum and total count, which is enough to reconstruct the
+    cumulative view (:meth:`cumulative_counts`).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, label_names: tuple[str, ...],
+                 buckets: Iterable[float] = DEFAULT_SECONDS_BUCKETS
+                 ) -> None:
+        super().__init__(name, label_names)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name} needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name} bucket bounds must be strictly "
+                "increasing")
+        self.buckets = bounds
+
+    def observe(self, value: int | float, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        slot = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = {"counts": [0] * (len(self.buckets) + 1),
+                          "sum": 0.0, "count": 0}
+                self._series[key] = series
+            series["counts"][slot] += 1
+            series["sum"] += value
+            series["count"] += 1
+
+    def series_data(self, **labels: Any) -> dict[str, Any]:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return {"counts": [0] * (len(self.buckets) + 1),
+                        "sum": 0.0, "count": 0}
+            return {"counts": list(series["counts"]),
+                    "sum": series["sum"], "count": series["count"]}
+
+    def cumulative_counts(self, **labels: Any) -> list[int]:
+        counts = self.series_data(**labels)["counts"]
+        out, running = [], 0
+        for count in counts:
+            running += count
+            out.append(running)
+        return out
+
+
+class MetricsRegistry:
+    """A namespace of metric families with a JSON snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def _get_or_create(self, cls: type, name: str,
+                       label_names: Iterable[str],
+                       **kwargs: Any) -> Any:
+        label_names = tuple(label_names)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, label_names, **kwargs)
+                self._families[name] = family
+                return family
+        if not isinstance(family, cls):
+            raise ConfigurationError(
+                f"metric {name} is a {family.kind}, not a "
+                f"{cls.kind}")  # type: ignore[attr-defined]
+        if family.label_names != label_names:
+            raise ConfigurationError(
+                f"metric {name} declared with labels "
+                f"{family.label_names}, requested {label_names}")
+        return family
+
+    def counter(self, name: str,
+                label_names: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, label_names)
+
+    def gauge(self, name: str,
+              label_names: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, label_names)
+
+    def histogram(self, name: str, label_names: Iterable[str] = (),
+                  buckets: Iterable[float] = DEFAULT_SECONDS_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, label_names,
+                                   buckets=buckets)
+
+    # -- introspection -------------------------------------------------------
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def get(self, name: str) -> _Family | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def label_names(self, name: str) -> tuple[str, ...]:
+        family = self.get(name)
+        if family is None:
+            raise ConfigurationError(f"no metric named {name!r}")
+        return family.label_names
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-compatible dump of every family and series."""
+        out: dict[str, Any] = {"counters": [], "gauges": [],
+                               "histograms": []}
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, family in families:
+            entry: dict[str, Any] = {
+                "name": name,
+                "label_names": list(family.label_names),
+                "series": [],
+            }
+            if isinstance(family, Histogram):
+                entry["buckets"] = list(family.buckets)
+                for key, series in family._ordered_series():
+                    entry["series"].append({
+                        "labels": family.labels_of(key),
+                        "counts": list(series["counts"]),
+                        "sum": series["sum"],
+                        "count": series["count"],
+                    })
+                out["histograms"].append(entry)
+            else:
+                for key, value in family._ordered_series():
+                    entry["series"].append({
+                        "labels": family.labels_of(key),
+                        "value": value,
+                    })
+                slot = ("counters" if isinstance(family, Counter)
+                        else "gauges")
+                out[slot].append(entry)
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent,
+                          sort_keys=True)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]
+                      ) -> "MetricsRegistry":
+        """Rebuild a registry whose :meth:`snapshot` equals ``snapshot``."""
+        registry = cls()
+        for entry in snapshot.get("counters", ()):
+            family = registry.counter(entry["name"],
+                                      entry["label_names"])
+            for series in entry["series"]:
+                family.inc(series["value"], **series["labels"])
+        for entry in snapshot.get("gauges", ()):
+            family = registry.gauge(entry["name"], entry["label_names"])
+            for series in entry["series"]:
+                family.set(series["value"], **series["labels"])
+        for entry in snapshot.get("histograms", ()):
+            family = registry.histogram(entry["name"],
+                                        entry["label_names"],
+                                        buckets=entry["buckets"])
+            for series in entry["series"]:
+                key = _label_key(family.label_names, series["labels"])
+                with family._lock:
+                    family._series[key] = {
+                        "counts": list(series["counts"]),
+                        "sum": series["sum"],
+                        "count": series["count"],
+                    }
+        return registry
+
+
+# -- no-op variants ----------------------------------------------------------
+
+
+class _NullMetric:
+    """Absorbs every metric call; shared singleton, zero state."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1, **labels: Any) -> None:
+        pass
+
+    def dec(self, amount: int | float = 1, **labels: Any) -> None:
+        pass
+
+    def set(self, value: int | float, **labels: Any) -> None:
+        pass
+
+    def observe(self, value: int | float, **labels: Any) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The zero-cost default: every family is the shared no-op metric."""
+
+    __slots__ = ()
+
+    def counter(self, name: str,
+                label_names: Iterable[str] = ()) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str,
+              label_names: Iterable[str] = ()) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, label_names: Iterable[str] = (),
+                  buckets: Iterable[float] = DEFAULT_SECONDS_BUCKETS
+                  ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def names(self) -> list[str]:
+        return []
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+
+NULL_REGISTRY = NullRegistry()

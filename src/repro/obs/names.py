@@ -1,0 +1,110 @@
+"""The instrumentation contract: every span and metric name we emit.
+
+These names are **public API**.  ``tests/unit/test_obs_contract.py``
+asserts the exact set (with hard-coded literals, deliberately not
+imported from here), so renaming anything below is a breaking change
+that fails CI.  ``docs/OBSERVABILITY.md`` is the human-readable
+reference for the same table.
+"""
+
+from __future__ import annotations
+
+# -- span names --------------------------------------------------------------
+
+SPAN_EXECUTE = "zkvm.execute"
+SPAN_PROVE = "zkvm.prove"
+SPAN_VERIFY = "zkvm.verify"
+SPAN_AGG_ROUND = "agg.round"
+SPAN_AGG_WITNESS = "agg.witness"
+SPAN_PARALLEL_ROUND = "agg.parallel.round"
+SPAN_PARALLEL_PARTITION = "agg.parallel.partition"
+SPAN_PARALLEL_MERGE = "agg.parallel.merge"
+SPAN_QUERY_PROVE = "query.prove"
+SPAN_NET_SERVER_REQUEST = "net.server.request"
+SPAN_NET_CLIENT_REQUEST = "net.client.request"
+
+SPAN_NAMES = frozenset({
+    SPAN_EXECUTE,
+    SPAN_PROVE,
+    SPAN_VERIFY,
+    SPAN_AGG_ROUND,
+    SPAN_AGG_WITNESS,
+    SPAN_PARALLEL_ROUND,
+    SPAN_PARALLEL_PARTITION,
+    SPAN_PARALLEL_MERGE,
+    SPAN_QUERY_PROVE,
+    SPAN_NET_SERVER_REQUEST,
+    SPAN_NET_CLIENT_REQUEST,
+})
+
+# -- metric names (name -> declared label names) -----------------------------
+
+# zkVM executor / prover / verifier
+EXECUTOR_SESSIONS = "repro_executor_sessions_total"
+EXECUTOR_CYCLES = "repro_executor_cycles_total"
+PROVER_PROOFS = "repro_prover_proofs_total"
+PROVER_CYCLES = "repro_prover_cycles_total"
+PROVER_SEGMENTS = "repro_prover_segments_total"
+PROVER_SECONDS = "repro_prover_prove_seconds"
+VERIFIER_RECEIPTS = "repro_verifier_receipts_total"
+VERIFIER_SECONDS = "repro_verifier_verify_seconds"
+
+# aggregation (sequential + parallel) and the prover service
+AGG_ROUNDS = "repro_agg_rounds_total"
+AGG_RECORDS = "repro_agg_records_total"
+AGG_SECONDS = "repro_agg_round_seconds"
+PARALLEL_PARTITIONS = "repro_parallel_partitions_total"
+SERVICE_FLOWS = "repro_service_flows"
+SERVICE_ROUNDS = "repro_service_rounds"
+SERVICE_QUERY_CACHE = "repro_service_query_cache_total"
+
+# query proving
+QUERY_PROOFS = "repro_query_proofs_total"
+QUERY_SECONDS = "repro_query_prove_seconds"
+
+# wire protocol, server side
+NET_SERVER_REQUESTS = "repro_net_server_requests_total"
+NET_SERVER_SECONDS = "repro_net_server_request_seconds"
+NET_SERVER_BYTES = "repro_net_server_bytes_total"
+NET_SERVER_ERRORS = "repro_net_server_errors_total"
+NET_SERVER_CONNECTIONS = "repro_net_server_connections"
+
+# wire protocol, client side
+NET_CLIENT_REQUESTS = "repro_net_client_requests_total"
+NET_CLIENT_ATTEMPTS = "repro_net_client_attempts_total"
+NET_CLIENT_RETRIES = "repro_net_client_retries_total"
+NET_CLIENT_SECONDS = "repro_net_client_request_seconds"
+NET_CLIENT_BYTES = "repro_net_client_bytes_total"
+NET_CLIENT_ERRORS = "repro_net_client_errors_total"
+
+#: name -> label-name tuple for every metric the system can emit.
+METRIC_LABELS: dict[str, tuple[str, ...]] = {
+    EXECUTOR_SESSIONS: ("program", "exit_code"),
+    EXECUTOR_CYCLES: ("program",),
+    PROVER_PROOFS: ("program", "kind"),
+    PROVER_CYCLES: ("program",),
+    PROVER_SEGMENTS: ("program",),
+    PROVER_SECONDS: ("program",),
+    VERIFIER_RECEIPTS: ("kind", "outcome"),
+    VERIFIER_SECONDS: (),
+    AGG_ROUNDS: ("strategy",),
+    AGG_RECORDS: ("strategy",),
+    AGG_SECONDS: ("strategy",),
+    PARALLEL_PARTITIONS: (),
+    SERVICE_FLOWS: (),
+    SERVICE_ROUNDS: (),
+    SERVICE_QUERY_CACHE: ("result",),
+    QUERY_PROOFS: (),
+    QUERY_SECONDS: (),
+    NET_SERVER_REQUESTS: ("kind", "status"),
+    NET_SERVER_SECONDS: ("kind",),
+    NET_SERVER_BYTES: ("direction",),
+    NET_SERVER_ERRORS: ("kind", "code"),
+    NET_SERVER_CONNECTIONS: (),
+    NET_CLIENT_REQUESTS: ("kind", "status"),
+    NET_CLIENT_ATTEMPTS: ("kind",),
+    NET_CLIENT_RETRIES: ("kind",),
+    NET_CLIENT_SECONDS: ("kind",),
+    NET_CLIENT_BYTES: ("direction",),
+    NET_CLIENT_ERRORS: ("kind", "error"),
+}

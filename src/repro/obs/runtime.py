@@ -1,0 +1,125 @@
+"""Process-wide observability context with a zero-cost default.
+
+Instrumented code asks this module for the current registry and tracer
+on every use::
+
+    from ..obs import runtime as obs
+
+    with obs.tracer().span(names.SPAN_PROVE, program=name) as span:
+        ...
+        obs.registry().counter(names.PROVER_PROOFS,
+                               ("program", "kind")).inc(...)
+
+By default both resolve to shared no-op singletons, so the hot paths
+pay only a couple of attribute lookups when observability is off (the
+e2e benchmark guards the <5 % overhead budget).  :func:`enable` swaps
+in a real :class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.tracing.Tracer`; :func:`capture` is the scoped
+variant tests use.
+
+Setting ``REPRO_OBS`` to a truthy value in the environment enables
+observability at import time — that is how ``repro serve --metrics``
+children and CI example runs turn it on without code changes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from .metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from .tracing import InMemorySpanExporter, NullTracer, NULL_TRACER, Tracer
+
+_lock = threading.Lock()
+_registry: MetricsRegistry | NullRegistry = NULL_REGISTRY
+_tracer: Tracer | NullTracer = NULL_TRACER
+_exporter: InMemorySpanExporter | None = None
+
+
+@dataclass(frozen=True)
+class ObsHandle:
+    """What :func:`enable` / :func:`capture` give the caller."""
+
+    registry: MetricsRegistry
+    tracer: Tracer
+    exporter: InMemorySpanExporter
+
+
+def enable(registry: MetricsRegistry | None = None,
+           exporter: InMemorySpanExporter | None = None,
+           max_spans: int = 10_000) -> ObsHandle:
+    """Install a live registry/tracer (replacing any previous one)."""
+    global _registry, _tracer, _exporter
+    with _lock:
+        live_registry = registry or MetricsRegistry()
+        live_exporter = exporter or InMemorySpanExporter(
+            max_spans=max_spans)
+        live_tracer = Tracer(live_exporter)
+        _registry = live_registry
+        _tracer = live_tracer
+        _exporter = live_exporter
+    return ObsHandle(registry=live_registry, tracer=live_tracer,
+                     exporter=live_exporter)
+
+
+def disable() -> None:
+    """Restore the zero-cost no-op context."""
+    global _registry, _tracer, _exporter
+    with _lock:
+        _registry = NULL_REGISTRY
+        _tracer = NULL_TRACER
+        _exporter = None
+
+
+def is_enabled() -> bool:
+    return _exporter is not None
+
+
+def registry() -> MetricsRegistry | NullRegistry:
+    return _registry
+
+
+def tracer() -> Tracer | NullTracer:
+    return _tracer
+
+
+def exporter() -> InMemorySpanExporter | None:
+    return _exporter
+
+
+@contextlib.contextmanager
+def capture(**kwargs: Any) -> Iterator[ObsHandle]:
+    """Scoped enable/restore — the test-suite entry point."""
+    global _registry, _tracer, _exporter
+    with _lock:
+        previous = (_registry, _tracer, _exporter)
+    handle = enable(**kwargs)
+    try:
+        yield handle
+    finally:
+        with _lock:
+            _registry, _tracer, _exporter = previous
+
+
+def metrics_snapshot() -> dict[str, Any]:
+    """The wire-servable metrics body (no spans)."""
+    return {"enabled": is_enabled(), "metrics": _registry.snapshot()}
+
+
+def snapshot() -> dict[str, Any]:
+    """Full dump: metrics plus every exported span."""
+    out = metrics_snapshot()
+    out["spans"] = _exporter.snapshot() if _exporter is not None else []
+    return out
+
+
+def _env_truthy(value: str | None) -> bool:
+    return (value or "").strip().lower() not in ("", "0", "false", "no",
+                                                 "off")
+
+
+if _env_truthy(os.environ.get("REPRO_OBS")):  # pragma: no cover - env gate
+    enable()

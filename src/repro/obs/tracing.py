@@ -1,0 +1,197 @@
+"""Tracing: nested spans over wall time and zkVM cycle deltas.
+
+A :class:`Tracer` hands out :class:`Span` context managers; spans nest
+per-thread (the prover pool's partition spans each root their own tree
+in their worker thread), and finished spans are handed to an exporter
+in *finish order*, which is deterministic for single-threaded flows —
+the contract test relies on that.
+
+The :class:`InMemorySpanExporter` is the test/benchmark exporter: a
+bounded list of finished spans with name/attribute accessors.  A span
+that finishes while an exception is propagating is still exported, with
+an ``error`` attribute naming the exception type — instrumentation must
+never swallow or alter control flow.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class SpanData:
+    """One finished span, as handed to the exporter."""
+
+    name: str
+    duration_s: float
+    attributes: dict[str, Any]
+    parent: str | None
+    depth: int
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "parent": self.parent,
+            "depth": self.depth,
+        }
+
+
+class Span:
+    """A live span; use as a context manager."""
+
+    __slots__ = ("name", "attributes", "_tracer", "_start", "parent",
+                 "depth", "_cycles")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: dict[str, Any], parent: str | None,
+                 depth: int) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.parent = parent
+        self.depth = depth
+        self._tracer = tracer
+        self._start = 0.0
+        self._cycles = 0
+
+    def set(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_cycles(self, cycles: int) -> None:
+        """Accumulate a zkVM cycle delta attributed to this span."""
+        self._cycles += cycles
+        self.attributes["cycles"] = self._cycles
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type: type | None, exc: BaseException | None,
+                 tb: object) -> bool:
+        duration = self._tracer._clock() - self._start
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self, duration)
+        return False
+
+
+class InMemorySpanExporter:
+    """Collects finished spans (bounded; oldest dropped first)."""
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._spans: list[SpanData] = []
+
+    def export(self, span: SpanData) -> None:
+        with self._lock:
+            self._spans.append(span)
+            if len(self._spans) > self.max_spans:
+                del self._spans[0]
+                self.dropped += 1
+
+    @property
+    def spans(self) -> list[SpanData]:
+        with self._lock:
+            return list(self._spans)
+
+    def names(self) -> list[str]:
+        return [span.name for span in self.spans]
+
+    def by_name(self, name: str) -> list[SpanData]:
+        return [span for span in self.spans if span.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        return [span.to_wire() for span in self.spans]
+
+
+class _SpanStack(threading.local):
+    # threading.local re-runs __init__ in every thread that touches the
+    # instance, so each thread gets its own nesting stack.
+    def __init__(self) -> None:
+        self.stack: list[Span] = []
+
+
+class Tracer:
+    """Produces nested spans and exports them on completion."""
+
+    def __init__(self, exporter: InMemorySpanExporter | None = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.exporter = exporter or InMemorySpanExporter()
+        self._clock = clock
+        self._local = _SpanStack()
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        stack = self._local.stack
+        parent = stack[-1] if stack else None
+        return Span(self, name, dict(attributes),
+                    parent=parent.name if parent else None,
+                    depth=len(stack))
+
+    def current(self) -> Span | None:
+        stack = self._local.stack
+        return stack[-1] if stack else None
+
+    # -- internal, driven by Span -------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        self._local.stack.append(span)
+
+    def _pop(self, span: Span, duration: float) -> None:
+        stack = self._local.stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        self.exporter.export(SpanData(
+            name=span.name,
+            duration_s=duration,
+            attributes=dict(span.attributes),
+            parent=span.parent,
+            depth=span.depth,
+        ))
+
+
+class _NullSpan:
+    """Shared reusable no-op span (stateless, reentrant)."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def add_cycles(self, cycles: int) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost default tracer."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()

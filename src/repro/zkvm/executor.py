@@ -13,6 +13,8 @@ from typing import Any
 
 from ..errors import GuestAbort
 from ..hashing import TAG_INPUT, TAG_SEGMENT, Digest, hash_many, tagged_hash
+from ..obs import names as obs_names
+from ..obs import runtime as obs
 from ..serialization import encode
 from . import cycles as cy
 from .guest import GuestAbortSignal, GuestEnv, GuestProgram
@@ -159,27 +161,41 @@ class Executor:
         guest exception propagates (it is a bug in the guest, not a
         telemetry integrity failure).
         """
-        env = GuestEnv(env_input.frames)
-        exit_code = ExitCode.HALTED
-        abort_reason: str | None = None
-        try:
-            program(env)
-        except GuestAbortSignal as signal:
-            exit_code = ExitCode.ABORTED
-            abort_reason = signal.reason
-        meter = env.meter
-        return ExecutionSession(
-            program=program,
-            input=env_input,
-            journal=Journal(env.journal_data),
-            exit_code=exit_code,
-            total_cycles=meter.total,
-            cycle_breakdown=dict(meter.by_category),
-            sha_compressions=meter.sha_compressions,
-            segments=_build_segments(program.image_id, meter.total),
-            assumptions=env.assumptions,
-            abort_reason=abort_reason,
-        )
+        with obs.tracer().span(obs_names.SPAN_EXECUTE,
+                               program=program.name) as span:
+            env = GuestEnv(env_input.frames)
+            exit_code = ExitCode.HALTED
+            abort_reason: str | None = None
+            try:
+                program(env)
+            except GuestAbortSignal as signal:
+                exit_code = ExitCode.ABORTED
+                abort_reason = signal.reason
+            meter = env.meter
+            session = ExecutionSession(
+                program=program,
+                input=env_input,
+                journal=Journal(env.journal_data),
+                exit_code=exit_code,
+                total_cycles=meter.total,
+                cycle_breakdown=dict(meter.by_category),
+                sha_compressions=meter.sha_compressions,
+                segments=_build_segments(program.image_id, meter.total),
+                assumptions=env.assumptions,
+                abort_reason=abort_reason,
+            )
+            span.add_cycles(session.total_cycles)
+            span.set("segments", session.segment_count)
+            span.set("exit_code", exit_code.name.lower())
+            registry = obs.registry()
+            registry.counter(
+                obs_names.EXECUTOR_SESSIONS, ("program", "exit_code"),
+            ).inc(program=program.name,
+                  exit_code=exit_code.name.lower())
+            registry.counter(
+                obs_names.EXECUTOR_CYCLES, ("program",),
+            ).inc(session.total_cycles, program=program.name)
+        return session
 
     def execute_expecting_success(self, program: GuestProgram,
                                   env_input: ExecutorInput

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from ..errors import GuestAbort, ProofError
 from ..hashing import TAG_SEAL, Digest, tagged_hash
 from ..merkle import MerkleTree
+from ..obs import names as obs_names
+from ..obs import runtime as obs
 from .executor import ExecutionSession, Executor, ExecutorInput
 from .fiatshamir import Transcript
 from .guest import GuestProgram
@@ -132,6 +134,15 @@ class Prover:
                 f"cannot prove a session that exited with "
                 f"{session.exit_code.name}"
             )
+        with obs.tracer().span(
+                obs_names.SPAN_PROVE,
+                program=session.program.name,
+                kind=self.opts.kind.name.lower()) as span:
+            info = self._prove_session_inner(session, span)
+        return info
+
+    def _prove_session_inner(self, session: ExecutionSession,
+                             span) -> ProveInfo:
         start = time.perf_counter()
         claim = ReceiptClaim(
             image_id=session.program.image_id,
@@ -166,6 +177,19 @@ class Prover:
             wall_seconds=wall,
             cycle_breakdown=dict(session.cycle_breakdown),
         )
+        span.add_cycles(stats.total_cycles)
+        span.set("segments", stats.segment_count)
+        program = session.program.name
+        registry = obs.registry()
+        registry.counter(obs_names.PROVER_PROOFS,
+                         ("program", "kind")).inc(
+            program=program, kind=self.opts.kind.name.lower())
+        registry.counter(obs_names.PROVER_CYCLES, ("program",)).inc(
+            stats.total_cycles, program=program)
+        registry.counter(obs_names.PROVER_SEGMENTS, ("program",)).inc(
+            stats.segment_count, program=program)
+        registry.histogram(obs_names.PROVER_SECONDS,
+                           ("program",)).observe(wall, program=program)
         return ProveInfo(receipt=receipt, session=session, stats=stats)
 
     def _prove_composite(self, session: ExecutionSession,

@@ -17,6 +17,7 @@ bound in the claim, so journal tampering is always caught.
 from __future__ import annotations
 
 import hmac
+import time
 from dataclasses import dataclass
 
 from ..errors import (
@@ -27,6 +28,8 @@ from ..errors import (
 )
 from ..hashing import Digest
 from ..merkle import MerkleTree
+from ..obs import names as obs_names
+from ..obs import runtime as obs
 from .executor import Segment, segment_chain
 from .prover import SEGMENT_SEAL_SIZE, derive_query_indices, \
     segment_seal_binding
@@ -71,12 +74,31 @@ class Verifier:
         Raises a :class:`~repro.errors.VerificationError` subclass on any
         failure; returns the verified claim and journal on success.
         """
-        if receipt.claim.assumptions:
-            raise VerificationError(
-                "receipt is conditional on unresolved assumptions; "
-                "resolve them first (repro.zkvm.recursion.resolve)"
-            )
-        return self.verify_conditional(receipt, image_id)
+        kind = _inner_kind(receipt)
+        start = time.perf_counter()
+        with obs.tracer().span(obs_names.SPAN_VERIFY,
+                               kind=kind) as span:
+            try:
+                if receipt.claim.assumptions:
+                    raise VerificationError(
+                        "receipt is conditional on unresolved "
+                        "assumptions; resolve them first "
+                        "(repro.zkvm.recursion.resolve)"
+                    )
+                verified = self.verify_conditional(receipt, image_id)
+            except Exception:
+                obs.registry().counter(
+                    obs_names.VERIFIER_RECEIPTS, ("kind", "outcome"),
+                ).inc(kind=kind, outcome="fail")
+                raise
+            span.set("segments", receipt.claim.segment_count)
+        registry = obs.registry()
+        registry.counter(obs_names.VERIFIER_RECEIPTS,
+                         ("kind", "outcome")).inc(kind=kind,
+                                                  outcome="ok")
+        registry.histogram(obs_names.VERIFIER_SECONDS).observe(
+            time.perf_counter() - start)
+        return verified
 
     def verify_conditional(self, receipt: Receipt,
                            image_id: Digest) -> VerifiedReceipt:
@@ -165,6 +187,17 @@ class Verifier:
             raise SealError("composite openings do not match the "
                             "Fiat-Shamir challenge indices")
         inner.openings.verify(inner.trace_root)
+
+
+def _inner_kind(receipt: Receipt) -> str:
+    inner = receipt.inner
+    if isinstance(inner, Groth16Receipt):
+        return "groth16"
+    if isinstance(inner, SuccinctReceipt):
+        return "succinct"
+    if isinstance(inner, CompositeReceipt):
+        return "composite"
+    return type(inner).__name__.lower()
 
 
 _DEFAULT_VERIFIER = Verifier()

@@ -1,0 +1,143 @@
+"""Property tests: metric registry invariants under arbitrary inputs."""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def bucket_bounds(min_size=1, max_size=8):
+    """Strictly increasing finite bucket boundaries."""
+    return st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=min_size, max_size=max_size, unique=True,
+    ).map(sorted)
+
+
+observations = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    max_size=60)
+
+
+class TestHistogramInvariants:
+    @given(bucket_bounds(), observations)
+    def test_counts_sum_to_observation_count(self, bounds, values):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=bounds)
+        for value in values:
+            hist.observe(value)
+        data = hist.series_data()
+        assert len(data["counts"]) == len(bounds) + 1
+        assert sum(data["counts"]) == data["count"] == len(values)
+        assert data["sum"] == sum(values)
+
+    @given(bucket_bounds(), observations)
+    def test_cumulative_counts_monotone(self, bounds, values):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=bounds)
+        for value in values:
+            hist.observe(value)
+        cumulative = hist.cumulative_counts()
+        assert len(cumulative) == len(bounds) + 1
+        assert all(a <= b for a, b in
+                   zip(cumulative, cumulative[1:]))
+        assert cumulative[-1] == len(values)
+
+    @given(bucket_bounds(), st.floats(min_value=-1e6, max_value=1e6,
+                                      allow_nan=False))
+    def test_each_observation_lands_in_exactly_one_bucket(
+            self, bounds, value):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=bounds)
+        hist.observe(value)
+        counts = hist.series_data()["counts"]
+        assert sum(counts) == 1
+        slot = counts.index(1)
+        if slot < len(bounds):
+            assert value <= bounds[slot]
+        if slot > 0:
+            assert value > bounds[slot - 1]
+
+
+label_values = st.text(
+    alphabet=st.characters(codec="ascii",
+                           categories=("L", "N")),
+    min_size=1, max_size=8)
+
+
+class TestSnapshotRoundTrip:
+    @given(st.lists(st.tuples(label_values, st.integers(0, 1000)),
+                    max_size=20),
+           observations)
+    def test_json_round_trip_is_exact(self, increments, values):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", ("worker",))
+        for worker, amount in increments:
+            counter.inc(amount, worker=worker)
+        gauge = registry.gauge("depth")
+        gauge.set(len(values))
+        hist = registry.histogram("latency_seconds")
+        for value in values:
+            hist.observe(abs(value))
+
+        snapshot = registry.snapshot()
+        decoded = json.loads(registry.to_json())
+        assert decoded == snapshot
+        restored = MetricsRegistry.from_snapshot(decoded)
+        assert restored.snapshot() == snapshot
+
+    @given(st.lists(st.tuples(label_values, st.integers(0, 100)),
+                    min_size=1, max_size=20))
+    def test_snapshot_series_are_sorted(self, increments):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", ("worker",))
+        for worker, amount in increments:
+            counter.inc(amount, worker=worker)
+        (entry,) = registry.snapshot()["counters"]
+        labels = [series["labels"]["worker"]
+                  for series in entry["series"]]
+        assert labels == sorted(labels)
+        assert len(set(labels)) == len(labels)
+
+
+class TestConcurrency:
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=10, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_concurrent_increments_lose_no_updates(self, workers, per):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", ("worker",))
+
+        def hammer(worker_id):
+            for _ in range(per):
+                counter.inc(worker=f"w{worker_id % 2}")
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(hammer, range(workers)))
+        total = sum(counter.value(worker=f"w{i}") for i in (0, 1))
+        assert total == workers * per
+
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=10, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_concurrent_observations_lose_no_updates(self, workers,
+                                                     per):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=[0.5])
+
+        def hammer(worker_id):
+            for i in range(per):
+                hist.observe(i % 2)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(hammer, range(workers)))
+        data = hist.series_data()
+        assert data["count"] == workers * per
+        assert sum(data["counts"]) == workers * per

@@ -1,0 +1,267 @@
+"""The instrumentation contract: exact span/metric names and labels.
+
+Every name below is hard-coded **on purpose** (not imported from
+``repro.obs.names``): the emitted telemetry namespace is public API
+that dashboards, bench trajectories, and the wire ``metrics`` endpoint
+depend on.  Renaming a span or metric, or changing a label set, must
+fail this suite — that is the point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prover_service import ProverService
+from repro.core.verifier_client import VerifierClient
+from repro.obs import runtime as obs
+
+from ..conftest import make_committed_records
+
+# -- the contract ------------------------------------------------------------
+
+E2E_SPANS = {
+    "zkvm.execute",
+    "zkvm.prove",
+    "zkvm.verify",
+    "agg.round",
+    "agg.witness",
+    "query.prove",
+}
+
+E2E_METRIC_LABELS = {
+    "repro_executor_sessions_total": ("program", "exit_code"),
+    "repro_executor_cycles_total": ("program",),
+    "repro_prover_proofs_total": ("program", "kind"),
+    "repro_prover_cycles_total": ("program",),
+    "repro_prover_segments_total": ("program",),
+    "repro_prover_prove_seconds": ("program",),
+    "repro_verifier_receipts_total": ("kind", "outcome"),
+    "repro_verifier_verify_seconds": (),
+    "repro_agg_rounds_total": ("strategy",),
+    "repro_agg_records_total": ("strategy",),
+    "repro_agg_round_seconds": ("strategy",),
+    "repro_service_flows": (),
+    "repro_service_rounds": (),
+    "repro_service_query_cache_total": ("result",),
+    "repro_query_proofs_total": (),
+    "repro_query_prove_seconds": (),
+}
+
+WIRE_SERVER_METRIC_LABELS = {
+    "repro_net_server_requests_total": ("kind", "status"),
+    "repro_net_server_request_seconds": ("kind",),
+    "repro_net_server_bytes_total": ("direction",),
+    "repro_net_server_errors_total": ("kind", "code"),
+    "repro_net_server_connections": (),
+}
+
+WIRE_CLIENT_METRIC_LABELS = {
+    "repro_net_client_requests_total": ("kind", "status"),
+    "repro_net_client_attempts_total": ("kind",),
+    "repro_net_client_request_seconds": ("kind",),
+    "repro_net_client_bytes_total": ("direction",),
+}
+
+WIRE_SPANS = {"net.server.request", "net.client.request"}
+
+PARALLEL_SPANS = {
+    "agg.parallel.round",
+    "agg.parallel.partition",
+    "agg.parallel.merge",
+}
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    """These tests assert the disabled default; run them from a clean
+    no-op state even when the process exported REPRO_OBS=1."""
+    was_enabled = obs.is_enabled()
+    obs.disable()
+    yield
+    obs.disable()
+    if was_enabled:
+        obs.enable()
+
+
+@pytest.fixture
+def service_round():
+    """One aggregated round over 30 committed records."""
+    store, bulletin, _ = make_committed_records(30)
+    service = ProverService(store, bulletin)
+    return service, bulletin
+
+
+class TestEndToEndContract:
+    def test_aggregate_query_verify_emits_exact_names(self,
+                                                      service_round):
+        service, bulletin = service_round
+        with obs.capture() as cap:
+            service.aggregate_all_committed()
+            response = service.answer_query(
+                "SELECT COUNT(*) FROM clogs")
+            verifier = VerifierClient(bulletin)
+            chain = verifier.verify_chain(service.chain.receipts())
+            verifier.verify_query(response, chain[-1])
+
+            assert set(cap.exporter.names()) == E2E_SPANS
+            assert set(cap.registry.names()) == \
+                set(E2E_METRIC_LABELS)
+            for name, labels in E2E_METRIC_LABELS.items():
+                assert cap.registry.label_names(name) == labels, name
+
+    def test_snapshot_carries_prover_accounting(self, service_round):
+        """The numbers the paper's asymmetry argument needs: cycles,
+        segments, prove/verify latency — all in one snapshot."""
+        service, bulletin = service_round
+        with obs.capture() as cap:
+            result = service.aggregate_all_committed()[-1]
+            reg = cap.registry
+            program = "telemetry-aggregation-v1"
+            assert reg.get("repro_prover_cycles_total").value(
+                program=program) == result.info.stats.total_cycles
+            assert reg.get("repro_prover_segments_total").value(
+                program=program) == result.info.stats.segment_count
+            prove_hist = reg.get("repro_prover_prove_seconds")
+            assert prove_hist.series_data(
+                program=program)["count"] == 1
+            # The span carries the same cycle delta.
+            (prove_span,) = cap.exporter.by_name("zkvm.prove")
+            assert prove_span.attributes["cycles"] == \
+                result.info.stats.total_cycles
+            assert prove_span.attributes["segments"] == \
+                result.info.stats.segment_count
+
+    def test_span_nesting_is_deterministic(self, service_round):
+        service, _ = service_round
+        with obs.capture() as cap:
+            service.aggregate_all_committed()
+            (round_span,) = cap.exporter.by_name("agg.round")
+            assert round_span.parent is None
+            (witness_span,) = cap.exporter.by_name("agg.witness")
+            assert witness_span.parent == "agg.round"
+            (prove_span,) = cap.exporter.by_name("zkvm.prove")
+            assert prove_span.parent == "agg.round"
+            assert prove_span.depth == 1
+
+    def test_query_cache_hit_and_miss_series(self, service_round):
+        service, _ = service_round
+        with obs.capture() as cap:
+            service.aggregate_all_committed()
+            sql = "SELECT COUNT(*) FROM clogs"
+            service.answer_query(sql)
+            service.answer_query(sql)
+            cache = cap.registry.get("repro_service_query_cache_total")
+            assert cache.value(result="miss") == 1
+            assert cache.value(result="hit") == 1
+
+    def test_disabled_by_default_emits_nothing(self, service_round):
+        service, _ = service_round
+        assert not obs.is_enabled()
+        service.aggregate_all_committed()
+        assert obs.registry().names() == []
+        assert obs.snapshot() == {"enabled": False,
+                                  "metrics": {"counters": [],
+                                              "gauges": [],
+                                              "histograms": []},
+                                  "spans": []}
+
+
+class TestParallelContract:
+    def test_parallel_round_spans(self):
+        from repro.commitments import window_digest
+        from repro.core.aggregation import RouterWindowInput
+        from repro.core.parallel import ParallelAggregator
+        from ..conftest import make_record
+        inputs = []
+        for i in (1, 2):
+            blobs = tuple(
+                make_record(router_id=f"r{i}", sport=1000 + j).to_bytes()
+                for j in range(2))
+            inputs.append(RouterWindowInput(
+                router_id=f"r{i}", window_index=0,
+                commitment=window_digest(list(blobs)), blobs=blobs))
+        with obs.capture() as cap:
+            ParallelAggregator().aggregate(inputs)
+            names = set(cap.exporter.names())
+            assert PARALLEL_SPANS <= names
+            assert len(cap.exporter.by_name(
+                "agg.parallel.partition")) == 2
+            assert cap.registry.get(
+                "repro_parallel_partitions_total").value() == 2
+
+
+class TestWireContract:
+    def test_wire_round_trip_emits_exact_names(self, service_round):
+        from repro.net import ProverServer, QueryClient
+        service, _ = service_round
+        with obs.capture() as cap:
+            service.aggregate_all_committed()
+            server = ProverServer(service)
+            with server:
+                with QueryClient(server.host, server.port) as client:
+                    client.health()
+                    client.query("SELECT COUNT(*) FROM clogs")
+                    # One failing request → an error series by wire code.
+                    with pytest.raises(Exception):
+                        client.query("SELECT NOT VALID SQL")
+                    snapshot = client.fetch_metrics()
+
+            names = set(cap.registry.names())
+            for name, labels in {**WIRE_SERVER_METRIC_LABELS,
+                                 **WIRE_CLIENT_METRIC_LABELS}.items():
+                assert name in names, name
+                assert cap.registry.label_names(name) == labels, name
+            assert WIRE_SPANS <= set(cap.exporter.names())
+
+            requests = cap.registry.get(
+                "repro_net_server_requests_total")
+            assert requests.value(kind="health", status="ok") == 1
+            assert requests.value(kind="query", status="ok") == 1
+            assert requests.value(kind="query", status="err") == 1
+            assert requests.value(kind="metrics", status="ok") == 1
+            errors = cap.registry.get("repro_net_server_errors_total")
+            assert errors.value(kind="query",
+                                code="query-syntax") == 1
+            bytes_total = cap.registry.get(
+                "repro_net_server_bytes_total")
+            assert bytes_total.value(direction="in") > 0
+            assert bytes_total.value(direction="out") > 0
+
+            # The wire snapshot reports the same metric families.
+            assert snapshot["enabled"] is True
+            wire_names = {entry["name"] for bucket in
+                          ("counters", "gauges", "histograms")
+                          for entry in snapshot["metrics"][bucket]}
+            # Everything known at fetch time is in the wire snapshot
+            # (client-side series for the fetch itself land later).
+            assert set(E2E_METRIC_LABELS) <= wire_names
+            assert set(WIRE_SERVER_METRIC_LABELS) <= wire_names
+
+    def test_client_retry_and_error_series(self):
+        from repro.errors import RetryExhausted
+        from repro.net import QueryClient, RetryPolicy
+        import socket
+        # A port nothing listens on: bind-then-close.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with obs.capture() as cap:
+            with QueryClient("127.0.0.1", port,
+                             retry=RetryPolicy(max_attempts=3,
+                                               base_delay=0.001,
+                                               jitter=0.0)) as client:
+                with pytest.raises(RetryExhausted):
+                    client.health()
+            assert cap.registry.get(
+                "repro_net_client_attempts_total").value(
+                kind="health") == 3
+            assert cap.registry.get(
+                "repro_net_client_retries_total").value(
+                kind="health") == 2
+            assert cap.registry.get(
+                "repro_net_client_errors_total").value(
+                kind="health", error="RetryExhausted") == 1
+            assert cap.registry.get(
+                "repro_net_client_requests_total").value(
+                kind="health", status="err") == 1

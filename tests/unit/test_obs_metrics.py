@@ -1,0 +1,150 @@
+"""Unit tests: registry/tracer mechanics (not the emission contract)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import runtime
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.tracing import InMemorySpanExporter, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    """Run from a clean no-op state even under REPRO_OBS=1."""
+    was_enabled = runtime.is_enabled()
+    runtime.disable()
+    yield
+    runtime.disable()
+    if was_enabled:
+        runtime.enable()
+
+
+class TestRegistry:
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_label_mismatch_rejected(self):
+        counter = MetricsRegistry().counter("c", ("kind",))
+        with pytest.raises(ConfigurationError):
+            counter.inc()
+        with pytest.raises(ConfigurationError):
+            counter.inc(kind="x", extra="y")
+
+    def test_redeclare_with_other_type_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("m")
+
+    def test_redeclare_with_other_labels_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", ("a",))
+        with pytest.raises(ConfigurationError):
+            registry.counter("m", ("b",))
+
+    def test_histogram_bounds_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", buckets=[1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h2", buckets=[])
+
+    def test_default_buckets_are_finite(self):
+        hist = MetricsRegistry().histogram("h")
+        assert list(hist.buckets) == list(DEFAULT_SECONDS_BUCKETS)
+        assert all(b == b and abs(b) != float("inf")
+                   for b in hist.buckets)
+
+    def test_overflow_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=[1.0, 2.0])
+        hist.observe(99.0)
+        assert hist.series_data()["counts"] == [0, 0, 1]
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(0.5)
+        registry.counter("c", ("k",)).inc(k="v")
+        json.dumps(registry.snapshot())  # must not raise
+
+    def test_null_registry_is_inert(self):
+        metric = NULL_REGISTRY.counter("anything", ("a", "b"))
+        metric.inc()
+        metric.observe(1.0)
+        metric.set(3)
+        metric.dec()
+        assert NULL_REGISTRY.names() == []
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": [], "gauges": [], "histograms": []}
+
+
+class TestTracer:
+    def test_exception_marks_span_and_propagates(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (span,) = exporter.spans
+        assert span.attributes["error"] == "RuntimeError"
+
+    def test_exporter_bounded_with_drop_counter(self):
+        exporter = InMemorySpanExporter(max_spans=2)
+        tracer = Tracer(exporter)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(exporter.spans) == 2
+        assert exporter.dropped == 3
+
+    def test_wire_form_round_trips_through_json(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter)
+        with tracer.span("outer"):
+            with tracer.span("inner", n=1) as span:
+                span.add_cycles(10)
+                span.add_cycles(5)
+        wire = exporter.snapshot()
+        assert json.loads(json.dumps(wire)) == wire
+        inner = next(s for s in wire if s["name"] == "inner")
+        assert inner["parent"] == "outer"
+        assert inner["depth"] == 1
+        assert inner["attributes"]["cycles"] == 15
+
+
+class TestRuntime:
+    def test_capture_is_scoped(self):
+        assert not runtime.is_enabled()
+        with runtime.capture() as cap:
+            assert runtime.is_enabled()
+            runtime.registry().counter("c").inc()
+            assert cap.registry.get("c").value() == 1
+        assert not runtime.is_enabled()
+        assert runtime.registry() is not cap.registry
+
+    def test_enable_disable(self):
+        try:
+            handle = runtime.enable()
+            assert runtime.registry() is handle.registry
+            with runtime.tracer().span("s"):
+                pass
+            assert handle.exporter.names() == ["s"]
+        finally:
+            runtime.disable()
+        assert not runtime.is_enabled()

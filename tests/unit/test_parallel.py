@@ -75,6 +75,31 @@ class TestParallelAggregation:
         assert result.modeled_seconds(model) < \
             result.sequential_seconds(model)
 
+    def test_modeled_seconds_is_critical_path_not_sum(
+            self, four_router_inputs):
+        """The parallel model is max(partitions) + merge; the sum of
+        partition times belongs to sequential_seconds only."""
+        result = ParallelAggregator().aggregate(four_router_inputs)
+        model = CostModel()
+        partition_times = [model.prove_seconds(info.stats)
+                           for info in result.partition_infos]
+        merge_time = model.prove_seconds(result.merge_info.stats)
+        assert result.modeled_seconds(model) == pytest.approx(
+            max(partition_times) + merge_time)
+        assert result.sequential_seconds(model) == pytest.approx(
+            sum(partition_times) + merge_time)
+
+    def test_single_partition_degenerates_to_sequential(
+            self, four_router_inputs):
+        """With one partition there is no parallelism to exploit:
+        modeled and sequential latency coincide."""
+        result = ParallelAggregator().aggregate(four_router_inputs,
+                                                num_partitions=1)
+        assert len(result.partition_infos) == 1
+        model = CostModel()
+        assert result.modeled_seconds(model) == pytest.approx(
+            result.sequential_seconds(model))
+
     def test_empty_inputs_rejected(self):
         with pytest.raises(ConfigurationError):
             ParallelAggregator().aggregate([])
