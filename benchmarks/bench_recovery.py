@@ -1,0 +1,103 @@
+"""Extension bench — crash recovery: restore vs re-prove from genesis.
+
+The fault-tolerance extension adds checkpoint/restore so a crashed
+prover resumes without re-proving its whole history.  This bench
+quantifies the payoff: after N proven rounds, compare
+
+* ``restore``  — decode the checkpoint, re-verify the latest receipt
+  and the Merkle root, adopt the state; and
+* ``genesis``  — rebuild the same state by re-running every
+  aggregation round from scratch.
+
+Restore cost is O(state) — one receipt verification plus one Merkle
+rebuild — while genesis replay is O(rounds x proving), so the gap
+widens with chain length; the table reports both and the speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.commitments import BulletinBoard, Commitment, window_digest
+from repro.core.prover_service import ProverService
+from repro.netflow import NetworkTopology, TrafficGenerator
+from repro.netflow.generator import TrafficConfig
+from repro.storage import MemoryLogStore
+
+WINDOW_MS = 5_000
+FLOWS_PER_WINDOW = 10
+
+
+def build_proven(num_rounds: int):
+    """A service with ``num_rounds`` proven windows of paper traffic."""
+    topology = NetworkTopology.paper_eval()
+    generator = TrafficGenerator(topology, TrafficConfig(seed=7))
+    store = MemoryLogStore()
+    bulletin = BulletinBoard()
+    for window in range(num_rounds):
+        per_router: dict[str, list] = {}
+        for _ in range(FLOWS_PER_WINDOW):
+            flow = generator.generate_flow(window * WINDOW_MS)
+            for record in generator.observe(flow):
+                per_router.setdefault(record.router_id,
+                                      []).append(record)
+        for router_id, records in per_router.items():
+            store.append_records(router_id, window, records)
+            bulletin.publish(Commitment(
+                router_id, window,
+                window_digest([r.to_bytes() for r in records]),
+                len(records), (window + 1) * WINDOW_MS))
+    service = ProverService(store, bulletin)
+    for window in range(num_rounds):
+        service.aggregate_window(window)
+    service.checkpoint()
+    return store, bulletin, service
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    """Minimum wall time over ``repeats`` runs (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("num_rounds", [2, 4, 8])
+def test_restore_vs_genesis(benchmark, report, num_rounds):
+    store, bulletin, service = build_proven(num_rounds)
+    expected_root = service.state.root
+
+    def restore():
+        recovered = ProverService(store, bulletin)
+        assert recovered.restore() is True
+        assert recovered.state.root == expected_root
+        return recovered
+
+    def genesis():
+        rebuilt = ProverService(store, bulletin)
+        for window in range(num_rounds):
+            rebuilt.aggregate_window(window)
+        assert rebuilt.state.root == expected_root
+        return rebuilt
+
+    genesis_s = best_of(genesis)
+    restore_s = best_of(restore)
+    benchmark.pedantic(restore, rounds=3, iterations=1,
+                       warmup_rounds=0)
+
+    report.table(
+        "recovery", "Crash recovery: checkpoint restore vs "
+        "re-proving from genesis",
+        ["rounds", "restore_ms", "genesis_ms", "speedup"])
+    report.row("recovery", num_rounds, restore_s * 1e3,
+               genesis_s * 1e3, genesis_s / restore_s)
+
+    benchmark.extra_info["rounds"] = num_rounds
+    benchmark.extra_info["genesis_seconds"] = genesis_s
+    benchmark.extra_info["restore_seconds"] = restore_s
+    # The whole point of checkpoints: recovery must beat replay.
+    assert restore_s < genesis_s

@@ -84,12 +84,27 @@ def load_receipts(directory: pathlib.Path) -> list[Receipt]:
 
 def rebuild_service(db: pathlib.Path, bulletin_path: pathlib.Path,
                     receipts_dir: pathlib.Path | None,
-                    strategy: str = "update") -> ProverService:
-    """A prover service over the persisted store/bulletin; if a receipt
-    directory is given, replay the recorded rounds to restore state."""
+                    strategy: str = "update",
+                    auto_checkpoint: bool = False,
+                    restore: bool = False) -> ProverService:
+    """A prover service over the persisted store/bulletin.
+
+    With ``restore=True``, load the latest verified checkpoint from the
+    store (fast recovery — no re-proving).  Otherwise, if a receipt
+    directory is given, replay the recorded rounds to restore state
+    (from-genesis re-aggregation, the slow path ``bench_recovery.py``
+    measures).
+    """
     store = SqliteLogStore(str(db))
     bulletin = load_bulletin(bulletin_path)
-    service = ProverService(store, bulletin, strategy=strategy)
+    service = ProverService(store, bulletin, strategy=strategy,
+                            auto_checkpoint=auto_checkpoint)
+    if restore:
+        if service.restore():
+            return service
+        print("no checkpoint found; falling back to receipt replay"
+              if receipts_dir is not None else
+              "no checkpoint found; starting from genesis")
     if receipts_dir is not None and receipts_dir.exists():
         recorded = load_receipts(receipts_dir)
         for receipt in recorded:
@@ -198,7 +213,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.metrics:
         from .obs import runtime as obs_runtime
         obs_runtime.enable()
-    service = rebuild_service(args.db, args.bulletin, args.receipts)
+    service = rebuild_service(args.db, args.bulletin, args.receipts,
+                              auto_checkpoint=args.auto_checkpoint,
+                              restore=args.restore)
     server = ProverServer(
         service, host=args.host, port=args.port,
         request_timeout=args.request_timeout,
@@ -443,6 +460,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable the repro.obs registry/tracer; the "
                         "`metrics` wire endpoint then serves live "
                         "counters")
+    p.add_argument("--auto-checkpoint", action="store_true",
+                   help="write a verified checkpoint into the store "
+                        "after every proven round")
+    p.add_argument("--restore", action="store_true",
+                   help="resume from the store's latest checkpoint "
+                        "(verified before acceptance) instead of "
+                        "replaying receipts")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("metrics",

@@ -35,6 +35,25 @@ class ChainLink:
                 f"round {self.round} journal missing header")
         return header
 
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "round": self.round,
+            "receipt": self.receipt.to_wire(),
+            "new_root": self.new_root,
+            "size": self.size,
+            "record_count": self.record_count,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ChainLink":
+        return cls(
+            round=wire["round"],
+            receipt=Receipt.from_wire(wire["receipt"]),
+            new_root=wire["new_root"],
+            size=wire["size"],
+            record_count=wire["record_count"],
+        )
+
 
 class AggregationChain:
     """Append-only ledger of aggregation rounds."""

@@ -10,24 +10,40 @@ and can run off-path, at whatever cadence resources allow.
 from __future__ import annotations
 
 import logging
+from collections import OrderedDict
 
 from ..commitments import BulletinBoard
-from ..errors import MissingCommitment, ProofError
+from ..errors import (
+    ChainError,
+    CheckpointError,
+    ConfigurationError,
+    MissingCommitment,
+    ProofError,
+    ReproError,
+)
+from ..hashing import Digest
 from ..obs import names as obs_names
 from ..obs import runtime as obs
+from ..serialization import decode, encode
 from ..storage.backend import LogStore
-from ..zkvm import ProveInfo, ProverOpts
+from ..zkvm import ProveInfo, ProverOpts, Verifier
 from .aggregation import (
     AggregationResult,
     Aggregator,
     RouterWindowInput,
 )
 from .chain import AggregationChain, ChainLink
-from .clog import CLogState
+from .clog import CLogEntry, CLogState
 from .policy import DEFAULT_POLICY, AggregationPolicy
 from .query_proof import QueryProver, QueryResponse
 
 logger = logging.getLogger(__name__)
+
+#: Version tag inside every checkpoint payload; bump on layout changes.
+CHECKPOINT_VERSION = 1
+
+#: Default checkpoint slot used by auto-checkpointing and restore.
+DEFAULT_CHECKPOINT = "prover-latest"
 
 
 class ProverService:
@@ -37,7 +53,12 @@ class ProverService:
                  policy: AggregationPolicy = DEFAULT_POLICY,
                  prover_opts: ProverOpts | None = None,
                  strategy: str = "update",
-                 retain_history: bool = False) -> None:
+                 retain_history: bool = False,
+                 auto_checkpoint: bool = False,
+                 checkpoint_name: str = DEFAULT_CHECKPOINT,
+                 query_cache_size: int = 256) -> None:
+        if query_cache_size < 1:
+            raise ConfigurationError("query_cache_size must be >= 1")
         self.store = store
         self.bulletin = bulletin
         self.policy = policy
@@ -55,9 +76,13 @@ class ProverService:
                 f"unknown aggregation strategy {strategy!r}; "
                 "expected 'update' or 'rebuild'")
         self.strategy = strategy
+        self.auto_checkpoint = auto_checkpoint
+        self.checkpoint_name = checkpoint_name
+        self.query_cache_size = query_cache_size
         self._query_prover = QueryProver(prover_opts)
         self._aggregated_windows: set[int] = set()
-        self._query_cache: dict[tuple[str, int], QueryResponse] = {}
+        self._query_cache: OrderedDict[tuple[str, int], QueryResponse] = \
+            OrderedDict()
         self.last_prove_info: ProveInfo | None = None
 
     @property
@@ -74,24 +99,41 @@ class ProverService:
             "aggregated_windows": sorted(self._aggregated_windows),
             "committed_windows": self.bulletin.windows(),
             "cached_queries": len(self._query_cache),
+            "query_cache_max": self.query_cache_size,
+            "auto_checkpoint": self.auto_checkpoint,
             "latest_root": (self.chain.latest.new_root.hex()
                             if len(self.chain) else None),
         }
 
     # -- aggregation ------------------------------------------------------------
 
-    def gather_window(self, window_index: int) -> list[RouterWindowInput]:
+    def gather_window(self, window_index: int,
+                      skip_uncommitted: bool = False
+                      ) -> list[RouterWindowInput]:
         """Collect every router's committed blobs for one window.
 
         Routers with stored rows but no published commitment raise
         :class:`~repro.errors.MissingCommitment` — uncommitted data must
-        never enter an aggregation round.
+        never enter an aggregation round.  With ``skip_uncommitted=True``
+        such routers are silently left out instead (the daemon's
+        degrade-past-the-deadline path); the round then covers only the
+        routers that did commit, which is still fully sound — it just
+        aggregates less.
         """
         inputs = []
         for router_id in self.store.router_ids():
             if window_index not in self.store.window_indices(router_id):
                 continue
-            commitment = self.bulletin.get(router_id, window_index)
+            if skip_uncommitted:
+                commitment = self.bulletin.try_get(router_id,
+                                                   window_index)
+                if commitment is None:
+                    logger.warning(
+                        "window %d: skipping router %r (no commitment "
+                        "published)", window_index, router_id)
+                    continue
+            else:
+                commitment = self.bulletin.get(router_id, window_index)
             blobs = tuple(self.store.window_blobs(router_id, window_index))
             inputs.append(RouterWindowInput(
                 router_id=router_id,
@@ -101,7 +143,7 @@ class ProverService:
             ))
         if not inputs:
             raise MissingCommitment(
-                f"no router has data for window {window_index}")
+                f"no router has committed data for window {window_index}")
         return inputs
 
     def aggregate_window(self, window_index: int) -> AggregationResult:
@@ -117,6 +159,23 @@ class ProverService:
                 raise ProofError(
                     f"window {window_index} was already aggregated")
             inputs.extend(self.gather_window(window_index))
+        return self.prove_round(window_indices, inputs)
+
+    def prove_round(self, window_indices: list[int],
+                    inputs: list[RouterWindowInput]
+                    ) -> AggregationResult:
+        """Prove one round over pre-gathered inputs and commit it.
+
+        The gather/prove split lets the supervised daemon collect each
+        window separately (classifying per-window faults, skipping late
+        routers) and still land everything in one proof.  State, chain,
+        and the aggregated-window set change only after the proof
+        exists — a failed round leaves the service exactly as it was.
+        """
+        for window_index in window_indices:
+            if window_index in self._aggregated_windows:
+                raise ProofError(
+                    f"window {window_index} was already aggregated")
         prev_receipt = self.chain.latest_receipt if len(self.chain) \
             else None
         result = self._aggregator.aggregate(self.state, inputs,
@@ -142,6 +201,8 @@ class ProverService:
             "round %d proven: windows=%s records=%d flows=%d root=%s…",
             result.round, sorted(window_indices), result.record_count,
             len(result.new_state), result.new_root.short())
+        if self.auto_checkpoint:
+            self.checkpoint()
         return result
 
     def aggregate_all_committed(self) -> list[AggregationResult]:
@@ -169,12 +230,26 @@ class ProverService:
         bit-identical receipts — the service caches and replays them
         unless ``use_cache=False``.
         """
+        # ChainError (a ProofError) rather than the bare IndexError a
+        # naive chain access would give: callers and the wire error
+        # table can tell "nothing proven yet" apart from a server bug.
+        if len(self.chain) == 0:
+            raise ChainError(
+                "no aggregation round has been proven yet; run "
+                "aggregate_windows() (or start the daemon) before "
+                "querying")
+        if round_index is not None \
+                and not 0 <= round_index < len(self.chain):
+            raise ProofError(
+                f"round {round_index} does not exist; the chain holds "
+                f"{len(self.chain)} round(s)")
         effective_round = round_index if round_index is not None \
             else (len(self.chain) - 1)
         cache_key = (sql, effective_round)
         if use_cache:
             cached = self._query_cache.get(cache_key)
             if cached is not None:
+                self._query_cache.move_to_end(cache_key)
                 obs.registry().counter(obs_names.SERVICE_QUERY_CACHE,
                                        ("result",)).inc(result="hit")
                 return cached
@@ -193,6 +268,9 @@ class ProverService:
             sql, state, receipt)
         self.last_prove_info = info
         self._query_cache[cache_key] = response
+        self._query_cache.move_to_end(cache_key)
+        while len(self._query_cache) > self.query_cache_size:
+            self._query_cache.popitem(last=False)  # evict LRU
         logger.info(
             "query proven: %r round=%d matched=%d/%d cycles=%d",
             sql, response.round, response.matched, response.scanned,
@@ -204,3 +282,153 @@ class ProverService:
         (§7 "Query complexity" — admission control / pricing)."""
         from .planner import estimate_query_cost
         return estimate_query_cost(self, sql)
+
+    # -- checkpoint / recovery ---------------------------------------------------
+
+    def checkpoint(self, name: str | None = None) -> Digest:
+        """Persist a crash-safe snapshot of the proven state.
+
+        The snapshot holds everything a restarted prover needs to resume
+        *without* re-proving from genesis: the full receipt chain, the
+        CLog entries (in slot order, so the Merkle map rebuilds
+        bit-identically), and the aggregated-window set.  It contains
+        only *proven* artifacts — the raw logs stay in the store, and
+        nothing in the snapshot is trusted on restore until the latest
+        receipt re-verifies (see :meth:`restore`).
+
+        Returns the committed root the snapshot captures.
+        """
+        name = name or self.checkpoint_name
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "strategy": self.strategy,
+            "state_round": self.state.round,
+            "aggregated_windows": sorted(self._aggregated_windows),
+            "chain": [link.to_wire() for link in self.chain],
+            "entries": [entry.to_wire()
+                        for entry in self.state.entries_in_slot_order()],
+        }
+        counter = obs.registry().counter(obs_names.SERVICE_CHECKPOINTS,
+                                         ("outcome",))
+        try:
+            self.store.put_checkpoint(name, encode(payload))
+        except ReproError:
+            counter.inc(outcome="err")
+            raise
+        counter.inc(outcome="ok")
+        logger.info("checkpoint %r written: rounds=%d flows=%d root=%s…",
+                    name, len(self.chain), len(self.state),
+                    self.state.root.short())
+        return self.state.root
+
+    def restore(self, name: str | None = None) -> bool:
+        """Load a snapshot, verify it, and adopt it — or refuse.
+
+        Returns ``False`` when no checkpoint exists under ``name`` (a
+        cold start).  On success the service answers queries exactly as
+        the pre-crash instance did.  A snapshot is **never accepted on
+        faith**: the chain must link round-by-round, the restored
+        entries must recompute the committed Merkle root, and the
+        latest receipt must re-verify against the trusted aggregation
+        guest image ids.  Any failure raises
+        :class:`~repro.errors.CheckpointError` and leaves the service
+        untouched.
+        """
+        if len(self.chain) or len(self.state) \
+                or self._aggregated_windows:
+            raise CheckpointError(
+                "restore() requires a fresh service; this one has "
+                "already aggregated")
+        name = name or self.checkpoint_name
+        counter = obs.registry().counter(obs_names.SERVICE_RESTORES,
+                                         ("outcome",))
+        try:
+            blob = self.store.get_checkpoint(name)
+            if blob is None:
+                return False
+            chain, state, windows = self._decode_checkpoint(blob)
+            self._verify_snapshot(chain, state)
+        except CheckpointError:
+            counter.inc(outcome="err")
+            raise
+        self.chain = chain
+        self.state = state
+        self._aggregated_windows = windows
+        self._query_cache.clear()
+        if self.retain_history and len(chain):
+            # Only the latest round's state survives a crash; older
+            # rounds need re-aggregation (retain_history is advisory).
+            self._history = {len(chain) - 1: state}
+        registry = obs.registry()
+        registry.gauge(obs_names.SERVICE_FLOWS).set(len(state))
+        registry.gauge(obs_names.SERVICE_ROUNDS).set(len(chain))
+        counter.inc(outcome="ok")
+        logger.info(
+            "restored checkpoint %r: rounds=%d flows=%d windows=%d "
+            "root=%s…", name, len(chain), len(state), len(windows),
+            state.root.short())
+        return True
+
+    def _decode_checkpoint(self, blob: bytes
+                           ) -> tuple[AggregationChain, CLogState,
+                                      set[int]]:
+        try:
+            payload = decode(blob)
+        except ReproError as exc:
+            raise CheckpointError(
+                f"checkpoint does not decode: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError("checkpoint payload is not a dict")
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version "
+                f"{payload.get('version')!r} (expected "
+                f"{CHECKPOINT_VERSION})")
+        try:
+            chain = AggregationChain()
+            for wire in payload["chain"]:
+                # append() re-validates round numbering and prev_root
+                # linkage, so a spliced or reordered chain is rejected
+                # here before any crypto runs.
+                chain.append(ChainLink.from_wire(wire))
+            state = CLogState()
+            for wire in payload["entries"]:
+                state.set_entry(CLogEntry.from_wire(wire))
+            state.round = payload["state_round"]
+            windows = set(payload["aggregated_windows"])
+        except (ReproError, KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint: {exc}") from exc
+        return chain, state, windows
+
+    def _verify_snapshot(self, chain: AggregationChain,
+                         state: CLogState) -> None:
+        if len(chain) == 0:
+            if len(state):
+                raise CheckpointError(
+                    "checkpoint holds entries but no proven round")
+            return
+        latest = chain.latest
+        if state.root != latest.new_root:
+            raise CheckpointError(
+                f"restored entries recompute root "
+                f"{state.root.short()}… but the chain committed "
+                f"{latest.new_root.short()}… — snapshot rejected")
+        if len(state) != latest.size:
+            raise CheckpointError(
+                f"restored state holds {len(state)} entries but round "
+                f"{latest.round} committed {latest.size}")
+        from .guest_programs import aggregation_guest
+        from .rebuild import rebuild_aggregation_guest
+        verifier = Verifier()
+        last_error: Exception | None = None
+        for image_id in (aggregation_guest.image_id,
+                         rebuild_aggregation_guest.image_id):
+            try:
+                verifier.verify(latest.receipt, image_id)
+                return
+            except ReproError as exc:
+                last_error = exc
+        raise CheckpointError(
+            f"latest receipt failed verification against every trusted "
+            f"aggregation image id: {last_error}") from last_error

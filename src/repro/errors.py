@@ -127,6 +127,16 @@ class StorageError(ReproError):
     """The shared log store failed an operation."""
 
 
+class CheckpointError(ReproError):
+    """A prover checkpoint could not be written, read, or trusted.
+
+    Raised by :meth:`repro.core.prover_service.ProverService.restore`
+    when a snapshot is malformed, its chain does not link, its entries
+    do not recompute the committed root, or its latest receipt fails
+    verification — a restore never silently accepts unproven state.
+    """
+
+
 class SimulationError(ReproError):
     """The NetFlow simulator was driven into an invalid state."""
 

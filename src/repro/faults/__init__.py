@@ -1,0 +1,58 @@
+"""Deterministic, seedable fault injection for chaos testing.
+
+The prover pipeline must keep its guarantees when infrastructure
+misbehaves: store reads time out, bulletin fetches fail, proving crashes
+mid-round.  This package is the harness that exercises those paths
+reproducibly — a :class:`FaultPlan` describes *what* fires *where* and
+*when* (pure data, seedable), a :class:`FaultInjector` executes it, and
+the wrappers in :mod:`repro.faults.wrappers` splice the injector into a
+live :class:`~repro.core.prover_service.ProverService`.
+
+Everything here is **off by default**.  The library never constructs a
+live injector by itself; chaos tests call :func:`inject_faults`
+explicitly, and operators opt in with ``REPRO_FAULTS`` /
+``REPRO_FAULT_SEED`` (see :meth:`FaultInjector.from_env`).  The same
+plan and seed always fire on the same invocations, so every chaos run
+is replayable bit-for-bit.
+"""
+
+from .injector import ENV_PLAN, ENV_SEED, NULL_INJECTOR, FaultInjector
+from .plan import (
+    BULLETIN_GET,
+    ERROR_KINDS,
+    KNOWN_SITES,
+    NET_TRANSPORT,
+    PROVER_PROVE,
+    STORE_ROUTER_IDS,
+    STORE_WINDOW_BLOBS,
+    STORE_WINDOW_INDICES,
+    FaultPlan,
+    FaultSpec,
+)
+from .wrappers import (
+    FaultyAggregator,
+    FaultyBulletin,
+    FaultyLogStore,
+    inject_faults,
+)
+
+__all__ = [
+    "BULLETIN_GET",
+    "ENV_PLAN",
+    "ENV_SEED",
+    "ERROR_KINDS",
+    "KNOWN_SITES",
+    "NET_TRANSPORT",
+    "NULL_INJECTOR",
+    "PROVER_PROVE",
+    "STORE_ROUTER_IDS",
+    "STORE_WINDOW_BLOBS",
+    "STORE_WINDOW_INDICES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyAggregator",
+    "FaultyBulletin",
+    "FaultyLogStore",
+    "inject_faults",
+]

@@ -1,0 +1,121 @@
+"""The runtime half of fault injection: counting, firing, accounting.
+
+A :class:`FaultInjector` owns the per-site invocation counters and the
+plan's seeded RNG.  Instrumented chokepoints call ``injector.fire(site)``
+once per operation; the injector either returns (no fault scheduled) or
+raises the configured domain exception.  With no plan the injector is
+inert — ``fire`` is a counter increment and a tuple lookup — so wrappers
+can stay wired in permanently.
+
+Activation is **opt-in twice over**: nothing in the library constructs a
+live injector on its own.  Tests wire one explicitly
+(:func:`repro.faults.wrappers.inject_faults`), and operators can export
+``REPRO_FAULTS`` / ``REPRO_FAULT_SEED`` and build one with
+:meth:`FaultInjector.from_env`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from collections import Counter
+
+from .plan import FaultPlan, FaultSpec
+
+#: Environment variables consulted by :meth:`FaultInjector.from_env`.
+ENV_PLAN = "REPRO_FAULTS"
+ENV_SEED = "REPRO_FAULT_SEED"
+
+
+class FaultInjector:
+    """Deterministic, thread-safe fault firing for one plan."""
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan or FaultPlan()
+        self._rng = random.Random(self.plan.seed)
+        self._lock = threading.Lock()
+        self._invocations: Counter[str] = Counter()
+        self._injected: Counter[str] = Counter()
+        self._fired_per_spec: Counter[FaultSpec] = Counter()
+        # site -> specs, precomputed so inert sites cost one dict miss.
+        self._by_site: dict[str, tuple[FaultSpec, ...]] = {
+            site: self.plan.for_site(site) for site in self.plan.sites}
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.plan)
+
+    # -- firing -------------------------------------------------------------
+
+    def fire(self, site: str) -> None:
+        """Count one invocation of ``site``; raise if a fault is due."""
+        with self._lock:
+            self._invocations[site] += 1
+            specs = self._by_site.get(site)
+            if not specs:
+                return
+            invocation = self._invocations[site]
+            for spec in specs:
+                if not spec.matches(invocation):
+                    continue
+                if spec.count is not None \
+                        and self._fired_per_spec[spec] >= spec.count:
+                    continue
+                if spec.probability < 1.0 \
+                        and self._rng.random() >= spec.probability:
+                    continue
+                self._fired_per_spec[spec] += 1
+                self._injected[site] += 1
+                raise spec.make_error(invocation)
+
+    # -- accounting ---------------------------------------------------------
+
+    def invocations(self, site: str) -> int:
+        with self._lock:
+            return self._invocations[site]
+
+    def injected(self, site: str) -> int:
+        with self._lock:
+            return self._injected[site]
+
+    def stats(self) -> dict:
+        """Snapshot for status endpoints and test assertions."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "seed": self.plan.seed,
+                "plan": self.plan.to_text(),
+                "invocations": dict(self._invocations),
+                "injected": dict(self._injected),
+            }
+
+    def reset(self) -> None:
+        """Restart counters and the RNG (fresh, replayable run)."""
+        with self._lock:
+            self._rng = random.Random(self.plan.seed)
+            self._invocations.clear()
+            self._injected.clear()
+            self._fired_per_spec.clear()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_env(cls, environ: dict[str, str] | None = None
+                 ) -> "FaultInjector":
+        """An injector for the ``REPRO_FAULTS`` env plan.
+
+        Returns an **inert** injector when the variable is unset or
+        empty — the safe default for every production entry point.
+        ``REPRO_FAULT_SEED`` (default 0) seeds probabilistic specs.
+        """
+        env = environ if environ is not None else os.environ
+        text = env.get(ENV_PLAN, "").strip()
+        if not text:
+            return cls(None)
+        seed = int(env.get(ENV_SEED, "0"))
+        return cls(FaultPlan.parse(text, seed=seed))
+
+
+#: Shared inert injector for call sites that need a default.
+NULL_INJECTOR = FaultInjector(None)

@@ -74,7 +74,8 @@ class ServiceClient:
                  retry: RetryPolicy | None = None,
                  pool_size: int = 2,
                  max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
-                 rng: random.Random | None = None) -> None:
+                 rng: random.Random | None = None,
+                 fault_injector: Any = None) -> None:
         if port is None:
             host, port = parse_endpoint(host)
         if pool_size < 1:
@@ -86,6 +87,9 @@ class ServiceClient:
         self.pool_size = pool_size
         self.max_frame_size = max_frame_size
         self._rng = rng
+        # Optional repro.faults.FaultInjector; fires the net.transport
+        # site at the top of every attempt (chaos tests only).
+        self._fault_injector = fault_injector
         self._pool: list[socket.socket] = []
         self._lock = threading.Lock()
         self._next_id = 1
@@ -150,6 +154,9 @@ class ServiceClient:
             if attempts > 1:
                 registry.counter(obs_names.NET_CLIENT_RETRIES,
                                  ("kind",)).inc(kind=kind_label)
+            if self._fault_injector is not None:
+                from ..faults.plan import NET_TRANSPORT
+                self._fault_injector.fire(NET_TRANSPORT)
             sock = self._checkout()
             try:
                 reply = self._exchange(sock, envelope)
@@ -225,6 +232,16 @@ class ServiceClient:
     def health(self) -> dict[str, Any]:
         """Server status snapshot (rounds, flows, counters...)."""
         return self._request(MessageKind.HEALTH)
+
+    def fetch_status(self) -> dict[str, Any]:
+        """Service status plus supervised-daemon health.
+
+        Returns ``{"service": {...}, "daemon": {...} | None}`` —
+        ``daemon`` carries the :meth:`AggregationDaemon.health` view
+        (state machine, quarantined windows, retry queue) when the
+        server was constructed with one.
+        """
+        return self._request(MessageKind.STATUS)
 
     def fetch_metrics(self) -> dict[str, Any]:
         """The server's observability snapshot.

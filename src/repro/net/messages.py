@@ -17,6 +17,9 @@ Request kinds and their bodies:
 ``run-round``          ``{windows: [int] | None}`` → aggregation round(s)
 ``query``              ``{sql, round: int | None}`` → proven QueryResponse
 ``fetch-receipt-chain``  ``{}`` → the full aggregation receipt chain
+``status``             ``{}`` → service status + supervised-daemon
+                       health (``daemon`` is None when the server has
+                       no attached daemon)
 ``metrics``            ``{}`` → observability snapshot
                        (``{enabled, metrics}``; empty when the server
                        runs with the default no-op registry)
@@ -69,6 +72,7 @@ class MessageKind(str, enum.Enum):
     RUN_ROUND = "run-round"
     QUERY = "query"
     FETCH_RECEIPT_CHAIN = "fetch-receipt-chain"
+    STATUS = "status"
     METRICS = "metrics"
 
 

@@ -67,12 +67,14 @@ class ProverServer:
 
     def __init__(self, service: Any, host: str = "127.0.0.1",
                  port: int = 0, *,
+                 daemon: Any = None,
                  max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
                  request_timeout: float = 60.0,
                  idle_timeout: float = 30.0,
                  max_connections: int = 64) -> None:
         self.service = service
         self.bulletin = service.bulletin
+        self.daemon = daemon  # optional AggregationDaemon for `status`
         self.host = host
         self.port = port  # 0 until start() binds an ephemeral port
         self.max_frame_size = max_frame_size
@@ -318,6 +320,8 @@ class ProverServer:
                         body: dict[str, Any]) -> dict[str, Any]:
         if kind == MessageKind.HEALTH.value:
             return self._handle_health()
+        if kind == MessageKind.STATUS.value:
+            return self._handle_status()
         if kind == MessageKind.METRICS.value:
             return obs.metrics_snapshot()
         if kind == MessageKind.GET_BULLETIN.value:
@@ -352,6 +356,14 @@ class ProverServer:
             "errors_returned": self.errors_returned,
         })
         return status
+
+    def _handle_status(self) -> dict[str, Any]:
+        """Service status plus the supervised daemon's health view."""
+        return {
+            "service": self.service.status(),
+            "daemon": (self.daemon.health()
+                       if self.daemon is not None else None),
+        }
 
     def _handle_get_bulletin(self) -> dict[str, Any]:
         return {"commitments": [c.to_wire() for c in self.bulletin]}

@@ -57,6 +57,15 @@ PARALLEL_PARTITIONS = "repro_parallel_partitions_total"
 SERVICE_FLOWS = "repro_service_flows"
 SERVICE_ROUNDS = "repro_service_rounds"
 SERVICE_QUERY_CACHE = "repro_service_query_cache_total"
+SERVICE_CHECKPOINTS = "repro_service_checkpoints_total"
+SERVICE_RESTORES = "repro_service_restores_total"
+
+# supervised aggregation daemon
+DAEMON_STEPS = "repro_daemon_steps_total"
+DAEMON_FAULTS = "repro_daemon_faults_total"
+DAEMON_RETRIES = "repro_daemon_retries_total"
+DAEMON_QUARANTINED = "repro_daemon_quarantined"
+DAEMON_HEALTH = "repro_daemon_health"
 
 # query proving
 QUERY_PROOFS = "repro_query_proofs_total"
@@ -94,6 +103,13 @@ METRIC_LABELS: dict[str, tuple[str, ...]] = {
     SERVICE_FLOWS: (),
     SERVICE_ROUNDS: (),
     SERVICE_QUERY_CACHE: ("result",),
+    SERVICE_CHECKPOINTS: ("outcome",),
+    SERVICE_RESTORES: ("outcome",),
+    DAEMON_STEPS: ("outcome",),
+    DAEMON_FAULTS: ("error",),
+    DAEMON_RETRIES: (),
+    DAEMON_QUARANTINED: (),
+    DAEMON_HEALTH: (),
     QUERY_PROOFS: (),
     QUERY_SECONDS: (),
     NET_SERVER_REQUESTS: ("kind", "status"),

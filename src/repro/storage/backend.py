@@ -78,6 +78,34 @@ class LogStore(abc.ABC):
     def close(self) -> None:
         """Release backend resources."""
 
+    # -- checkpoints -------------------------------------------------------------
+    #
+    # A small named-blob KV the prover uses for crash-safe snapshots
+    # (see :meth:`repro.core.prover_service.ProverService.checkpoint`).
+    # Concrete no-support defaults rather than abstract methods, so
+    # minimal LogStore subclasses (test doubles, read-only adapters)
+    # keep working without opting in.
+
+    def put_checkpoint(self, name: str, data: bytes) -> None:
+        """Store (or overwrite) a named checkpoint blob."""
+        raise StorageError(
+            f"{type(self).__name__} does not support checkpoints")
+
+    def get_checkpoint(self, name: str) -> bytes | None:
+        """Fetch a named checkpoint blob, or None if absent."""
+        raise StorageError(
+            f"{type(self).__name__} does not support checkpoints")
+
+    def checkpoint_names(self) -> list[str]:
+        """All stored checkpoint names, sorted."""
+        raise StorageError(
+            f"{type(self).__name__} does not support checkpoints")
+
+    def delete_checkpoint(self, name: str) -> bool:
+        """Drop a named checkpoint; returns True if one existed."""
+        raise StorageError(
+            f"{type(self).__name__} does not support checkpoints")
+
     # -- conveniences ------------------------------------------------------------------
 
     def window_records(self, router_id: str,

@@ -15,6 +15,7 @@ class MemoryLogStore(LogStore):
 
     def __init__(self) -> None:
         self._rows: dict[tuple[str, int], list[bytes]] = defaultdict(list)
+        self._checkpoints: dict[str, bytes] = {}
         self._lock = threading.Lock()
         self._closed = False
 
@@ -63,6 +64,26 @@ class MemoryLogStore(LogStore):
         self._check_open()
         with self._lock:
             return sorted({r for (r, _w) in self._rows})
+
+    def put_checkpoint(self, name: str, data: bytes) -> None:
+        self._check_open()
+        with self._lock:
+            self._checkpoints[name] = bytes(data)
+
+    def get_checkpoint(self, name: str) -> bytes | None:
+        self._check_open()
+        with self._lock:
+            return self._checkpoints.get(name)
+
+    def checkpoint_names(self) -> list[str]:
+        self._check_open()
+        with self._lock:
+            return sorted(self._checkpoints)
+
+    def delete_checkpoint(self, name: str) -> bool:
+        self._check_open()
+        with self._lock:
+            return self._checkpoints.pop(name, None) is not None
 
     def close(self) -> None:
         self._closed = True

@@ -48,3 +48,27 @@ WHERE router_id = ? ORDER BY window_index
 SELECT_ROUTER_IDS = """
 SELECT DISTINCT router_id FROM rlogs ORDER BY router_id
 """
+
+CREATE_CHECKPOINTS = """
+CREATE TABLE IF NOT EXISTS checkpoints (
+    name TEXT PRIMARY KEY,
+    data BLOB NOT NULL
+)
+"""
+
+UPSERT_CHECKPOINT = """
+INSERT INTO checkpoints (name, data) VALUES (?, ?)
+ON CONFLICT (name) DO UPDATE SET data = excluded.data
+"""
+
+SELECT_CHECKPOINT = """
+SELECT data FROM checkpoints WHERE name = ?
+"""
+
+SELECT_CHECKPOINT_NAMES = """
+SELECT name FROM checkpoints ORDER BY name
+"""
+
+DELETE_CHECKPOINT = """
+DELETE FROM checkpoints WHERE name = ?
+"""

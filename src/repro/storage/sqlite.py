@@ -30,6 +30,7 @@ class SqliteLogStore(LogStore):
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute(schema.CREATE_RLOGS)
         self._conn.execute(schema.CREATE_RLOGS_WINDOW_INDEX)
+        self._conn.execute(schema.CREATE_CHECKPOINTS)
         self._conn.commit()
         self._closed = False
 
@@ -109,6 +110,40 @@ class SqliteLogStore(LogStore):
             self._check_open()
             rows = self._conn.execute(schema.SELECT_ROUTER_IDS).fetchall()
         return [row[0] for row in rows]
+
+    def put_checkpoint(self, name: str, data: bytes) -> None:
+        with self._lock:
+            self._check_open()
+            try:
+                self._conn.execute(schema.UPSERT_CHECKPOINT,
+                                   (name, bytes(data)))
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                self._conn.rollback()
+                raise StorageError(
+                    f"checkpoint write failed: {exc}") from exc
+
+    def get_checkpoint(self, name: str) -> bytes | None:
+        with self._lock:
+            self._check_open()
+            row = self._conn.execute(
+                schema.SELECT_CHECKPOINT, (name,)).fetchone()
+        return bytes(row[0]) if row is not None else None
+
+    def checkpoint_names(self) -> list[str]:
+        with self._lock:
+            self._check_open()
+            rows = self._conn.execute(
+                schema.SELECT_CHECKPOINT_NAMES).fetchall()
+        return [row[0] for row in rows]
+
+    def delete_checkpoint(self, name: str) -> bool:
+        with self._lock:
+            self._check_open()
+            cursor = self._conn.execute(
+                schema.DELETE_CHECKPOINT, (name,))
+            self._conn.commit()
+            return cursor.rowcount > 0
 
     def close(self) -> None:
         with self._lock:

@@ -150,6 +150,49 @@ class TestHappyPath:
         assert after["status"] == "ok"
 
 
+class TestStatusEndpoint:
+    def test_status_without_daemon(self, deployment):
+        server, _router_board = deployment
+        with QueryClient(server.host, server.port) as client:
+            body = client.fetch_status()
+        assert body["daemon"] is None
+        assert body["service"]["rounds"] == 0
+        assert "query_cache_max" in body["service"]
+
+    def test_status_surfaces_daemon_health(self):
+        from repro.core.daemon import AggregationDaemon
+        from repro.netflow.clock import SimClock
+        store, bulletin, _ = make_committed_records(20)
+        service = ProverService(store, bulletin)
+        daemon = AggregationDaemon(service, SimClock())
+        server = ProverServer(service, daemon=daemon,
+                              idle_timeout=5.0)
+        server.start_background()
+        try:
+            with QueryClient(server.host, server.port) as client:
+                body = client.fetch_status()
+        finally:
+            server.stop_background()
+        health = body["daemon"]
+        assert health["state"] == "healthy"
+        assert health["quarantined"] == {}
+        assert health["stats"]["rounds"] == 0
+
+    def test_client_transport_fault_site_retries(self, deployment):
+        """A net.transport fault on the first attempt is absorbed by
+        the client's retry policy; the request still succeeds."""
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.faults.plan import NET_TRANSPORT
+        server, _router_board = deployment
+        injector = FaultInjector(FaultPlan.parse(
+            "net.transport:connection:count=1"))
+        with QueryClient(server.host, server.port, retry=FAST_RETRY,
+                         fault_injector=injector) as client:
+            body = client.fetch_status()
+        assert body["service"]["rounds"] == 0
+        assert injector.injected(NET_TRANSPORT) == 1
+
+
 class TestFaults:
     def test_dead_server_raises_after_bounded_retries(self):
         client = QueryClient("127.0.0.1", _free_port(),

@@ -1,0 +1,192 @@
+"""Unit tests for the deterministic fault-injection subsystem."""
+
+import pytest
+
+from repro import faults
+from repro.errors import (
+    ConfigurationError,
+    ConnectionFailed,
+    GuestAbort,
+    MissingCommitment,
+    StorageError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    inject_faults,
+)
+
+
+class TestSpecParsing:
+    def test_minimal_spec_defaults(self):
+        spec = FaultSpec.parse("store.window_blobs")
+        assert spec.site == faults.STORE_WINDOW_BLOBS
+        assert spec.error == "storage"
+        assert spec.start == 1 and spec.every == 1
+        assert spec.permanent
+
+    def test_full_grammar_round_trips(self):
+        text = "prover.prove:guest-abort:start=2,every=3,count=4"
+        spec = FaultSpec.parse(text)
+        assert spec.start == 2 and spec.every == 3 and spec.count == 4
+        assert not spec.permanent
+        assert FaultSpec.parse(spec.to_text()) == spec
+
+    def test_plan_round_trips(self):
+        plan = FaultPlan.parse(
+            "store.window_blobs:storage:every=3;"
+            "bulletin.get:timeout:count=1", seed=7)
+        assert len(plan.specs) == 2
+        assert plan.sites == {faults.STORE_WINDOW_BLOBS,
+                              faults.BULLETIN_GET}
+        assert FaultPlan.parse(plan.to_text(), seed=7) == plan
+
+    @pytest.mark.parametrize("text", [
+        "no.such.site",
+        "store.window_blobs:no-such-error",
+        "store.window_blobs:storage:start=0",
+        "store.window_blobs:storage:every=0",
+        "store.window_blobs:storage:count=0",
+        "store.window_blobs:storage:p=0",
+        "store.window_blobs:storage:p=1.5",
+        "store.window_blobs:storage:bogus=1",
+        "store.window_blobs:storage:start",
+    ])
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse(text)
+
+    def test_every_error_kind_raises_its_domain_class(self):
+        expected = {
+            "storage": StorageError,
+            "missing-commitment": MissingCommitment,
+            "guest-abort": GuestAbort,
+            "connection": ConnectionFailed,
+        }
+        for kind, cls in expected.items():
+            spec = FaultSpec(site=faults.PROVER_PROVE, error=kind)
+            assert isinstance(spec.make_error(1), cls)
+
+
+class TestInjector:
+    def test_schedule_every_third_from_third(self):
+        plan = FaultPlan.parse(
+            "store.window_blobs:storage:start=3,every=3")
+        injector = FaultInjector(plan)
+        outcomes = []
+        for _ in range(9):
+            try:
+                injector.fire(faults.STORE_WINDOW_BLOBS)
+                outcomes.append("ok")
+            except StorageError:
+                outcomes.append("fault")
+        assert outcomes == ["ok", "ok", "fault"] * 3
+        assert injector.invocations(faults.STORE_WINDOW_BLOBS) == 9
+        assert injector.injected(faults.STORE_WINDOW_BLOBS) == 3
+
+    def test_count_makes_fault_transient(self):
+        plan = FaultPlan.parse("bulletin.get:timeout:count=2")
+        injector = FaultInjector(plan)
+        fired = 0
+        for _ in range(10):
+            try:
+                injector.fire(faults.BULLETIN_GET)
+            except Exception:
+                fired += 1
+        assert fired == 2  # stops after count even though every=1
+
+    def test_other_sites_unaffected(self):
+        injector = FaultInjector(
+            FaultPlan.parse("store.window_blobs:storage"))
+        for _ in range(5):
+            injector.fire(faults.BULLETIN_GET)  # never raises
+        assert injector.injected(faults.BULLETIN_GET) == 0
+
+    def test_probability_is_deterministic_per_seed(self):
+        def run(seed):
+            injector = FaultInjector(FaultPlan.parse(
+                "prover.prove:proof:p=0.5", seed=seed))
+            hits = []
+            for i in range(20):
+                try:
+                    injector.fire(faults.PROVER_PROVE)
+                    hits.append(0)
+                except Exception:
+                    hits.append(1)
+            return hits
+
+        assert run(1) == run(1)  # replayable
+        assert run(1) != run(2)  # but seed-sensitive
+        assert 0 < sum(run(1)) < 20
+
+    def test_reset_replays_identically(self):
+        injector = FaultInjector(FaultPlan.parse(
+            "prover.prove:proof:p=0.3", seed=5))
+
+        def trace():
+            out = []
+            for _ in range(15):
+                try:
+                    injector.fire(faults.PROVER_PROVE)
+                    out.append(0)
+                except Exception:
+                    out.append(1)
+            return out
+
+        first = trace()
+        injector.reset()
+        assert trace() == first
+
+    def test_inert_without_plan(self):
+        injector = FaultInjector()
+        assert not injector.enabled
+        for _ in range(3):
+            injector.fire(faults.STORE_WINDOW_BLOBS)
+        assert injector.stats()["injected"] == {}
+
+    def test_from_env_gated_off_by_default(self):
+        injector = FaultInjector.from_env(environ={})
+        assert not injector.enabled
+
+    def test_from_env_parses_plan_and_seed(self):
+        injector = FaultInjector.from_env(environ={
+            faults.ENV_PLAN: "store.window_blobs:storage:every=2",
+            faults.ENV_SEED: "3",
+        })
+        assert injector.enabled
+        assert injector.plan.seed == 3
+        assert injector.plan.sites == {faults.STORE_WINDOW_BLOBS}
+
+
+class TestWrappers:
+    def test_wired_service_sees_store_and_bulletin_faults(self):
+        from repro.core.prover_service import ProverService
+        from ..conftest import make_committed_records
+        store, bulletin, _ = make_committed_records(10)
+        service = ProverService(store, bulletin)
+        injector = FaultInjector(FaultPlan.parse(
+            "store.window_blobs:storage:start=1,count=1"))
+        inject_faults(service, injector)
+        with pytest.raises(StorageError):
+            service.gather_window(0)
+        # The transient fault fired once; the next gather succeeds.
+        assert service.gather_window(0)
+        assert injector.injected(faults.STORE_WINDOW_BLOBS) == 1
+
+    def test_prover_fault_leaves_state_unchanged(self):
+        from repro.core.prover_service import ProverService
+        from repro.errors import ProofError
+        from ..conftest import make_committed_records
+        store, bulletin, _ = make_committed_records(10)
+        service = ProverService(store, bulletin)
+        injector = FaultInjector(FaultPlan.parse(
+            "prover.prove:proof:count=1"))
+        inject_faults(service, injector)
+        with pytest.raises(ProofError):
+            service.aggregate_window(0)
+        assert len(service.chain) == 0
+        assert service.aggregated_windows == frozenset()
+        # Retry proves cleanly and the round is intact.
+        result = service.aggregate_window(0)
+        assert result.round == 0

@@ -121,3 +121,34 @@ class TestQueries:
         # No such flow in generated traffic: SUM over empty set.
         assert response.value() is None
         assert response.matched == 0
+
+    def test_empty_chain_error_is_descriptive(self, service):
+        from repro.errors import ChainError
+        with pytest.raises(ChainError, match="aggregate_windows"):
+            service.answer_query("SELECT COUNT(*) FROM clogs")
+
+    def test_out_of_range_round_rejected(self, service):
+        service.aggregate_window(0)
+        with pytest.raises(ProofError, match="round"):
+            service.answer_query("SELECT COUNT(*) FROM clogs",
+                                 round_index=5)
+
+    def test_query_cache_is_lru_bounded(self):
+        from repro.errors import ConfigurationError
+        store, bulletin, _ = make_committed_records(30)
+        service = ProverService(store, bulletin, query_cache_size=2)
+        service.aggregate_window(0)
+        q1 = "SELECT COUNT(*) FROM clogs"
+        q2 = "SELECT SUM(octets) FROM clogs"
+        q3 = "SELECT MAX(hop_count) FROM clogs"
+        first = service.answer_query(q1)
+        service.answer_query(q2)
+        # Touch q1 so q2 becomes the least recently used...
+        assert service.answer_query(q1) is first
+        service.answer_query(q3)  # ...and is evicted here.
+        assert service.status()["cached_queries"] == 2
+        assert service.status()["query_cache_max"] == 2
+        assert service.answer_query(q1) is first       # survived
+        assert service.answer_query(q2) is not None    # re-proved
+        with pytest.raises(ConfigurationError):
+            ProverService(store, bulletin, query_cache_size=0)
