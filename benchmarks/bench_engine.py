@@ -1,0 +1,176 @@
+"""Engine benchmarks: real multi-process proving and cache replay.
+
+Three numbers matter here and all three feed the CI regression gate
+(``check_regression.py`` against ``results/baseline.json``):
+
+* ``test_engine_calibration`` — a fixed pure-CPU workload whose median
+  normalizes every other bench, so the committed baseline transfers
+  between machines of different speed;
+* ``test_engine_round_serial`` — the cold single-process round, the
+  denominator of every speedup claim;
+* ``test_engine_round_warm_cache`` — a content-addressed cache replay
+  of an identical round, which must also reuse >= 80% of the round's
+  proofs (asserted from the observability counters, not from timing).
+
+``test_engine_process_speedup`` pins the acceptance criterion of the
+engine PR — >= 1.5x real wall-clock speedup at 4 process workers over
+serial — and is skipped on hosts without 4 CPUs.
+
+``REPRO_BENCH_SLEEP=<seconds>`` injects a per-round delay into the
+gated benches; it exists to *verify the gate itself* (an injected
+slowdown must fail ``check_regression.py``) and is never set in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+
+import pytest
+
+from repro.core.prover_service import ProverService
+from repro.engine import ProvingEngine, ReceiptCache
+from repro.obs import runtime as obs_runtime
+
+from _workloads import committed_workload
+
+ENGINE_RECORDS = int(os.environ.get("REPRO_BENCH_ENGINE_RECORDS",
+                                    "2000"))
+SPEEDUP_RECORDS = int(os.environ.get("REPRO_BENCH_SPEEDUP_RECORDS",
+                                     "8000"))
+NUM_PARTITIONS = 4
+
+
+def _sleep_penalty() -> None:
+    delay = float(os.environ.get("REPRO_BENCH_SLEEP", "0") or 0.0)
+    if delay > 0:
+        time.sleep(delay)
+
+
+@pytest.fixture(scope="module")
+def window_inputs():
+    store, bulletin = committed_workload(ENGINE_RECORDS)
+    return ProverService(store, bulletin).gather_window(0)
+
+
+def test_engine_calibration(benchmark):
+    """Fixed CPU work (1 MiB of chained sha256) — the machine-speed
+    yardstick ``check_regression.py`` divides every median by."""
+
+    def calibrate() -> bytes:
+        block = b"\x00" * 1024
+        digest = b""
+        for _ in range(4096):
+            digest = hashlib.sha256(block + digest).digest()
+        return digest
+
+    benchmark.pedantic(calibrate, rounds=10, iterations=5,
+                       warmup_rounds=2)
+
+
+def test_engine_round_serial(benchmark, report, window_inputs):
+    """Cold partition-and-merge round, one process, fresh cache every
+    iteration — the baseline the speedup and cache benches beat."""
+
+    def cold_round():
+        _sleep_penalty()
+        with ProvingEngine(backend="serial",
+                           cache=ReceiptCache()) as engine:
+            return engine.prove_round(window_inputs, NUM_PARTITIONS)
+
+    result = benchmark.pedantic(cold_round, rounds=5, iterations=1,
+                                warmup_rounds=1)
+    assert len(result.partition_infos) == NUM_PARTITIONS
+    report.table(
+        "engine-serial",
+        f"engine cold round over {ENGINE_RECORDS} records "
+        f"({NUM_PARTITIONS} partitions, serial backend)",
+        ["records", "partitions", "flows"])
+    report.row("engine-serial", ENGINE_RECORDS, NUM_PARTITIONS,
+               result.size)
+
+
+def test_engine_round_warm_cache(benchmark, report, window_inputs):
+    """Replaying an identical round from the content-addressed cache.
+
+    Timing aside, the acceptance bar is reuse: >= 80% of the round's
+    proofs must come back as cache hits, read from the
+    ``repro_engine_cache_total`` counters the engine emits.
+    """
+    engine = ProvingEngine(backend="serial", cache=ReceiptCache())
+    try:
+        cold = engine.prove_round(window_inputs, NUM_PARTITIONS)
+        registry = obs_runtime.registry()
+        cache_counter = registry.counter(
+            "repro_engine_cache_total", ("tier", "result"))
+        hits_before = cache_counter.value(tier="memory", result="hit")
+        misses_before = cache_counter.value(tier="memory",
+                                            result="miss")
+
+        def warm_round():
+            _sleep_penalty()
+            return engine.prove_round(window_inputs, NUM_PARTITIONS)
+
+        warm = benchmark.pedantic(warm_round, rounds=10, iterations=3,
+                                  warmup_rounds=1)
+        hits = cache_counter.value(tier="memory",
+                                   result="hit") - hits_before
+        misses = cache_counter.value(tier="memory",
+                                     result="miss") - misses_before
+    finally:
+        engine.close()
+    assert warm.receipt.to_wire() == cold.receipt.to_wire()
+    reused = sum(1 for info in warm.partition_infos if info.cached)
+    assert reused / len(warm.partition_infos) >= 0.8
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    assert hit_rate >= 0.8, f"warm-round cache hit rate {hit_rate:.2f}"
+    benchmark.extra_info["cache_hit_rate"] = hit_rate
+    report.table(
+        "engine-cache",
+        "warm-round receipt reuse from the content-addressed cache",
+        ["partitions_reused", "hit_rate"])
+    report.row("engine-cache", f"{reused}/{len(warm.partition_infos)}",
+               hit_rate)
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="needs >= 4 CPUs for a meaningful "
+                           "process-pool speedup")
+def test_engine_process_speedup(benchmark, report):
+    """The engine PR's acceptance criterion: 4 process workers beat
+    the serial backend by >= 1.5x real wall-clock on the same round."""
+    store, bulletin = committed_workload(SPEEDUP_RECORDS)
+    inputs = ProverService(store, bulletin).gather_window(0)
+
+    start = time.perf_counter()
+    with ProvingEngine(backend="serial",
+                       cache=ReceiptCache()) as engine:
+        serial_result = engine.prove_round(inputs, NUM_PARTITIONS)
+    serial_seconds = time.perf_counter() - start
+
+    def process_round():
+        with ProvingEngine(backend="process", max_workers=4,
+                           cache=ReceiptCache()) as engine:
+            return engine.prove_round(inputs, NUM_PARTITIONS)
+
+    start = time.perf_counter()
+    parallel_result = benchmark.pedantic(process_round, rounds=1,
+                                         iterations=1, warmup_rounds=0)
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel_result.receipt.to_wire() == \
+        serial_result.receipt.to_wire()
+    speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info["speedup"] = speedup
+    report.table(
+        "engine-speedup",
+        f"real wall-clock, {SPEEDUP_RECORDS} records, "
+        f"{NUM_PARTITIONS} partitions",
+        ["serial_s", "process_s", "speedup"])
+    report.row("engine-speedup", serial_seconds, parallel_seconds,
+               speedup)
+    assert speedup >= 1.5, (
+        f"process backend speedup {speedup:.2f}x < 1.5x "
+        f"(serial {serial_seconds:.2f}s, "
+        f"process {parallel_seconds:.2f}s)")

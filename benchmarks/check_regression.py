@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark medians against a committed baseline.
+
+Reads a ``pytest-benchmark --benchmark-json`` output file and compares
+each benchmark's median against ``results/baseline.json``.  Raw
+medians do not transfer between machines, so every median is first
+divided by the run's *calibration* median (``test_engine_calibration``
+in ``bench_engine.py`` — fixed pure-CPU work): the compared quantity
+is "how many calibration units does this bench cost", which is stable
+across host speeds.
+
+Exit codes: 0 = within threshold, 1 = regression (or missing
+calibration), 2 = usage error.
+
+Update the committed baseline after an intentional perf change::
+
+    python benchmarks/check_regression.py bench.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+BASELINE = pathlib.Path(__file__).parent / "results" / "baseline.json"
+CALIBRATION = "test_engine_calibration"
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_run(path: pathlib.Path) -> dict[str, float]:
+    """name -> median seconds from a pytest-benchmark JSON file."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        sys.exit(f"cannot read benchmark json {path}: {exc}")
+    medians: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        medians[bench["name"]] = bench["stats"]["median"]
+    return medians
+
+
+def normalize(medians: dict[str, float]) -> dict[str, float]:
+    """Medians in calibration units; drops the calibration bench."""
+    calibration = medians.get(CALIBRATION)
+    if not calibration:
+        sys.exit(f"run has no {CALIBRATION!r} median; "
+                 "was bench_engine.py included?")
+    return {name: median / calibration
+            for name, median in medians.items()
+            if name != CALIBRATION}
+
+
+def update_baseline(path: pathlib.Path,
+                    normalized: dict[str, float]) -> None:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(
+        {"units": f"medians relative to {CALIBRATION}",
+         "benchmarks": dict(sorted(normalized.items()))},
+        indent=2, sort_keys=True) + "\n")
+    print(f"baseline updated: {path} ({len(normalized)} benchmarks)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("runs", type=pathlib.Path, nargs="+",
+                        help="pytest-benchmark --benchmark-json "
+                             "output(s); several runs are folded into "
+                             "their per-bench median, which makes an "
+                             "--update baseline robust to one noisy "
+                             "run")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=BASELINE)
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="max tolerated median slowdown "
+                             "(0.25 = 25%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run "
+                             "instead of checking")
+    args = parser.parse_args(argv)
+
+    per_run = [normalize(load_run(path)) for path in args.runs]
+    current = {
+        name: statistics.median(run[name] for run in per_run
+                                if name in run)
+        for name in {name for run in per_run for name in run}
+    }
+    if args.update:
+        update_baseline(args.baseline, current)
+        return 0
+
+    if not args.baseline.exists():
+        sys.exit(f"no baseline at {args.baseline}; create one with "
+                 "--update")
+    baseline = json.loads(args.baseline.read_text())["benchmarks"]
+
+    failures: list[str] = []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"WARN  {name}: in baseline but not in this run")
+            continue
+        ratio = current[name] / base
+        status = "ok"
+        if ratio - 1.0 > args.threshold:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"{status:>10}  {name}: {ratio:.2f}x of baseline "
+              f"(threshold {1.0 + args.threshold:.2f}x)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"WARN  {name}: not in baseline "
+              "(run with --update to add it)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}: {', '.join(failures)}")
+        return 1
+    print("\nall benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

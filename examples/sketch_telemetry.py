@@ -38,7 +38,7 @@ def main() -> None:
 
     # Client: verify the build and read the public journal.
     journal = verify_sketch_build(build.receipt, system.bulletin)
-    print(f"\nverified public outputs:")
+    print("\nverified public outputs:")
     print(f"  total packets observed: {journal['total_packets']:,}")
     print(f"  sketch commitment: "
           f"{journal['cm_digest'].short()}… "

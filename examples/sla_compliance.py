@@ -67,7 +67,7 @@ def main() -> None:
     # Every number above was accompanied by a zk proof the client
     # verified; show what a dispute would rest on.
     latest = system.prover.chain.latest
-    print(f"\ndispute evidence package:")
+    print("\ndispute evidence package:")
     print(f"  aggregation chain: {len(system.prover.chain)} receipts, "
           f"{latest.receipt.seal_size}-byte seals")
     print(f"  committed telemetry root: {latest.new_root.short()}…")

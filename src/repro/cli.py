@@ -86,7 +86,9 @@ def rebuild_service(db: pathlib.Path, bulletin_path: pathlib.Path,
                     receipts_dir: pathlib.Path | None,
                     strategy: str = "update",
                     auto_checkpoint: bool = False,
-                    restore: bool = False) -> ProverService:
+                    restore: bool = False,
+                    pool_backend: str | None = None,
+                    prove_workers: int | None = None) -> ProverService:
     """A prover service over the persisted store/bulletin.
 
     With ``restore=True``, load the latest verified checkpoint from the
@@ -98,7 +100,9 @@ def rebuild_service(db: pathlib.Path, bulletin_path: pathlib.Path,
     store = SqliteLogStore(str(db))
     bulletin = load_bulletin(bulletin_path)
     service = ProverService(store, bulletin, strategy=strategy,
-                            auto_checkpoint=auto_checkpoint)
+                            auto_checkpoint=auto_checkpoint,
+                            pool_backend=pool_backend,
+                            prove_workers=prove_workers)
     if restore:
         if service.restore():
             return service
@@ -215,7 +219,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         obs_runtime.enable()
     service = rebuild_service(args.db, args.bulletin, args.receipts,
                               auto_checkpoint=args.auto_checkpoint,
-                              restore=args.restore)
+                              restore=args.restore,
+                              pool_backend=args.pool_backend,
+                              prove_workers=args.prove_workers)
     server = ProverServer(
         service, host=args.host, port=args.port,
         request_timeout=args.request_timeout,
@@ -235,6 +241,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        service.close()
         service.store.close()
     return 0
 
@@ -467,6 +474,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume from the store's latest checkpoint "
                         "(verified before acceptance) instead of "
                         "replaying receipts")
+    p.add_argument("--prove-workers", type=int, default=None,
+                   metavar="N",
+                   help="prove through the repro.engine pool with N "
+                        "workers (process backend unless "
+                        "--pool-backend says otherwise); receipts are "
+                        "reused via the content-addressed cache")
+    p.add_argument("--pool-backend", default=None,
+                   choices=["serial", "thread", "process"],
+                   help="proving pool backend (implies the engine even "
+                        "without --prove-workers)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("metrics",

@@ -82,12 +82,20 @@ class AggregationResult:
 
 
 class Aggregator:
-    """Runs Algorithm 1 rounds through the zkVM prover."""
+    """Runs Algorithm 1 rounds through the zkVM prover.
+
+    ``prover`` accepts any object with the ``prove(program, env_input)``
+    contract — in particular :class:`repro.engine.pool.PooledProver`,
+    which routes the round through the engine's worker pool and receipt
+    cache.  Unset, a direct in-process :class:`Prover` is used.
+    """
 
     def __init__(self, policy: AggregationPolicy = DEFAULT_POLICY,
-                 prover_opts: ProverOpts | None = None) -> None:
+                 prover_opts: ProverOpts | None = None,
+                 prover: Any | None = None) -> None:
         self.policy = policy
-        self._prover = Prover(prover_opts or ProverOpts.groth16())
+        self._prover = prover if prover is not None \
+            else Prover(prover_opts or ProverOpts.groth16())
 
     def aggregate(self, state: CLogState,
                   windows: list[RouterWindowInput],

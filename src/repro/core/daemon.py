@@ -187,6 +187,7 @@ class AggregationDaemon:
             state = "degraded"
         else:
             state = "healthy"
+        engine = getattr(self.service, "engine", None)
         return {
             "state": state,
             "consecutive_failures": self._consecutive_failures,
@@ -195,6 +196,7 @@ class AggregationDaemon:
             "pending": len(self.pending_windows()),
             "oldest_lag_ms": self.oldest_lag_ms(),
             "stats": self.stats.to_wire(),
+            "engine": engine.snapshot() if engine is not None else None,
         }
 
     # -- driving -------------------------------------------------------------------

@@ -16,6 +16,12 @@ Three circuits:
 Everything the guests hash or verify is charged to the cycle meter; the
 constants below set the generic-compute costs (decode, merge, predicate
 evaluation) that the RISC-V instruction stream would incur.
+
+The module also hosts the **guest registry**: proof jobs cross process
+boundaries as data (:mod:`repro.engine`), so a worker needs to map a
+guest *name* back to the in-process :class:`GuestProgram` object.  All
+guests defined here register themselves; out-of-module guests (the
+rebuild strategy) are resolved lazily on first miss.
 """
 
 from __future__ import annotations
@@ -30,12 +36,13 @@ from ..hashing import (
     TAG_RLOG,
     Digest,
 )
+from ..errors import ConfigurationError
 from ..merkle import MerkleTree
 from ..merkle.tree import EMPTY_ROOTS
 from ..netflow.records import NetFlowRecord
 from ..query import evaluate, parse_query
 from ..serialization import decode, decode_stream
-from ..zkvm.guest import GuestEnv, guest_program
+from ..zkvm.guest import GuestEnv, GuestProgram, guest_program
 from .clog import CLogEntry, entry_view_from_wire
 from .policy import AggregationPolicy
 from .witness import OP_GROW, OP_INSERT, OP_UPDATE
@@ -385,3 +392,45 @@ def merge_guest(env: GuestEnv) -> None:
         "policy": policy.digest(),
         "entries": len(order),
     })
+
+
+# -- guest registry ----------------------------------------------------------
+
+GUEST_REGISTRY: dict[str, GuestProgram] = {}
+
+
+def register_guest(program: GuestProgram) -> GuestProgram:
+    """Make ``program`` resolvable by name (idempotent for the same
+    object; re-registering a *different* program under a taken name is a
+    configuration error — silent shadowing would break the receipt↔code
+    binding)."""
+    existing = GUEST_REGISTRY.get(program.name)
+    if existing is not None and existing is not program:
+        raise ConfigurationError(
+            f"guest name {program.name!r} already registered with image "
+            f"{existing.image_id.short()}…")
+    GUEST_REGISTRY[program.name] = program
+    return program
+
+
+def resolve_guest(name: str) -> GuestProgram:
+    """Look up a guest by name, loading lazy out-of-module guests.
+
+    ``repro.core.rebuild`` imports *this* module, so its guest cannot
+    register at import time without a cycle; a first miss triggers the
+    import, after which the registry is complete.
+    """
+    program = GUEST_REGISTRY.get(name)
+    if program is None:
+        from . import rebuild  # noqa: F401  (registers its guest)
+        program = GUEST_REGISTRY.get(name)
+    if program is None:
+        raise ConfigurationError(
+            f"unknown guest program {name!r}; registered: "
+            f"{sorted(GUEST_REGISTRY)}")
+    return program
+
+
+for _program in (aggregation_guest, query_guest, partition_guest,
+                 merge_guest):
+    register_guest(_program)

@@ -7,25 +7,28 @@ merged into a single final proof."
 :class:`ParallelAggregator` partitions the round's windows by router,
 proves each partition with :data:`~repro.core.guest_programs.partition_guest`
 concurrently, then proves a merge step that verifies every partition
-claim in-guest and emits the combined root.  The modeled latency is
-``max(partition prove times) + merge prove time`` versus the sequential
-sum — the ablation benchmark sweeps the partition count.
+claim in-guest and emits the combined root.  Proving runs on the
+:mod:`repro.engine` pool — the ``process`` backend delivers *real*
+multi-core wall-clock speedup, not just the modeled
+``max(partition prove times) + merge prove time`` latency the ablation
+benchmark sweeps — and partition receipts are replayed from the
+content-addressed :class:`~repro.engine.cache.ReceiptCache` when the
+same inputs recur.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..engine.cache import ReceiptCache
+from ..engine.jobs import JobResult
+from ..engine.pool import BACKENDS, resolve_pool_config
+from ..engine.scheduler import ProvingEngine
 from ..errors import ConfigurationError
 from ..hashing import Digest
-from ..obs import names as obs_names
-from ..obs import runtime as obs
-from ..zkvm import ExecutorEnvBuilder, ProveInfo, Prover, ProverOpts, Receipt
+from ..zkvm import ProverOpts, Receipt
 from ..zkvm.costmodel import CostModel, ProverBackend
-from ..zkvm.recursion import resolve_all
-from .aggregation import RouterWindowInput, make_receipt_binding
-from .guest_programs import merge_guest, partition_guest
+from .aggregation import RouterWindowInput
 from .policy import DEFAULT_POLICY, AggregationPolicy
 
 
@@ -34,8 +37,8 @@ class ParallelAggregationResult:
     """Receipts and latency model for one parallel round."""
 
     receipt: Receipt
-    partition_infos: tuple[ProveInfo, ...]
-    merge_info: ProveInfo
+    partition_infos: tuple[JobResult, ...]
+    merge_info: JobResult
     new_root: Digest
     size: int
 
@@ -58,14 +61,35 @@ class ParallelAggregationResult:
 
 
 class ParallelAggregator:
-    """Partition → prove concurrently → merge in one guest."""
+    """Partition → prove concurrently → merge in one guest.
+
+    ``backend`` selects the pool flavor (``serial``/``thread``/
+    ``process``); unset, it follows ``ProverOpts.pool_backend``, then
+    the ``REPRO_PROVE_BACKEND`` / ``REPRO_PROVE_WORKERS`` environment,
+    then defaults to ``thread``.  Invalid configuration —
+    ``num_partitions < 1`` or an unknown backend — fails here in the
+    constructor, not at prove time, on every backend.
+    """
 
     def __init__(self, policy: AggregationPolicy = DEFAULT_POLICY,
                  prover_opts: ProverOpts | None = None,
-                 max_workers: int | None = None) -> None:
+                 max_workers: int | None = None,
+                 num_partitions: int | None = None,
+                 backend: str | None = None,
+                 cache: ReceiptCache | None = None) -> None:
+        if num_partitions is not None and num_partitions < 1:
+            raise ConfigurationError("num_partitions must be >= 1")
+        if backend is not None and backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown pool backend {backend!r}; expected one of "
+                f"{BACKENDS}")
         self.policy = policy
         self._opts = prover_opts or ProverOpts.succinct()
-        self._max_workers = max_workers
+        self._backend, self._max_workers = resolve_pool_config(
+            self._opts, backend=backend, max_workers=max_workers,
+            default_backend="thread")
+        self._num_partitions = num_partitions
+        self._cache = cache if cache is not None else ReceiptCache()
 
     def aggregate(self, windows: list[RouterWindowInput],
                   num_partitions: int | None = None
@@ -74,87 +98,16 @@ class ParallelAggregator:
 
         Partitions are router-aligned (a router's windows stay
         together, since a window commitment must be checked whole).
+        The pool is scoped to the call; the receipt cache lives on the
+        aggregator, so repeated rounds over recurring inputs replay
+        their partition proofs.
         """
-        if not windows:
-            raise ConfigurationError("no windows to aggregate")
-        partitions = self._partition(windows, num_partitions)
-        obs.registry().counter(obs_names.PARALLEL_PARTITIONS).inc(
-            len(partitions))
-        with obs.tracer().span(obs_names.SPAN_PARALLEL_ROUND,
-                               partitions=len(partitions)):
-            with ThreadPoolExecutor(
-                    max_workers=self._max_workers) as pool:
-                partition_infos = list(
-                    pool.map(self._prove_partition,
-                             range(len(partitions)), partitions))
-            merge_info, receipt = self._prove_merge(partition_infos)
-        header = next(receipt.journal.values())
-        return ParallelAggregationResult(
-            receipt=receipt,
-            partition_infos=tuple(partition_infos),
-            merge_info=merge_info,
-            new_root=header["new_root"],
-            size=header["size"],
-        )
-
-    # -- internals ---------------------------------------------------------------
-
-    def _partition(self, windows: list[RouterWindowInput],
-                   num_partitions: int | None
-                   ) -> list[list[RouterWindowInput]]:
-        by_router: dict[str, list[RouterWindowInput]] = {}
-        for window in sorted(windows, key=lambda w: (w.router_id,
-                                                     w.window_index)):
-            by_router.setdefault(window.router_id, []).append(window)
-        groups = list(by_router.values())
         if num_partitions is not None and num_partitions < 1:
             raise ConfigurationError("num_partitions must be >= 1")
-        count = min(num_partitions or len(groups), len(groups))
-        partitions: list[list[RouterWindowInput]] = \
-            [[] for _ in range(count)]
-        for index, group in enumerate(groups):
-            partitions[index % count].extend(group)
-        return partitions
-
-    def _prove_partition(self, index: int,
-                         windows: list[RouterWindowInput]) -> ProveInfo:
-        builder = ExecutorEnvBuilder()
-        builder.write({
-            "partition": index,
-            "policy": self.policy.to_wire(),
-            "num_routers": len(windows),
-        })
-        for window in windows:
-            builder.write({
-                "router_id": window.router_id,
-                "window_index": window.window_index,
-                "commitment": window.commitment,
-                "blobs": list(window.blobs),
-            })
-        with obs.tracer().span(obs_names.SPAN_PARALLEL_PARTITION,
-                               partition=index,
-                               routers=len(windows)) as span:
-            info = Prover(self._opts).prove(partition_guest,
-                                            builder.build())
-            span.add_cycles(info.stats.total_cycles)
-        return info
-
-    def _prove_merge(self, partition_infos: list[ProveInfo]
-                     ) -> tuple[ProveInfo, Receipt]:
-        builder = ExecutorEnvBuilder()
-        builder.write({
-            "round": 0,
-            "policy": self.policy.to_wire(),
-            "num_partitions": len(partition_infos),
-        })
-        for info in partition_infos:
-            builder.write(make_receipt_binding(info.receipt))
-        with obs.tracer().span(obs_names.SPAN_PARALLEL_MERGE,
-                               partitions=len(partition_infos)) as span:
-            merge_info = Prover(self._opts).prove(merge_guest,
-                                                  builder.build())
-            span.add_cycles(merge_info.stats.total_cycles)
-            receipt = resolve_all(
-                merge_info.receipt,
-                [info.receipt for info in partition_infos])
-        return merge_info, receipt
+        if num_partitions is None:
+            num_partitions = self._num_partitions
+        with ProvingEngine(policy=self.policy, prover_opts=self._opts,
+                           backend=self._backend,
+                           max_workers=self._max_workers,
+                           cache=self._cache) as engine:
+            return engine.prove_round(windows, num_partitions)

@@ -56,7 +56,9 @@ class ProverService:
                  retain_history: bool = False,
                  auto_checkpoint: bool = False,
                  checkpoint_name: str = DEFAULT_CHECKPOINT,
-                 query_cache_size: int = 256) -> None:
+                 query_cache_size: int = 256,
+                 pool_backend: str | None = None,
+                 prove_workers: int | None = None) -> None:
         if query_cache_size < 1:
             raise ConfigurationError("query_cache_size must be >= 1")
         self.store = store
@@ -66,11 +68,21 @@ class ProverService:
         self.chain = AggregationChain()
         self.retain_history = retain_history
         self._history: dict[int, CLogState] = {}
+        # The engine is opt-in and *explicit*: ``serve --prove-workers``
+        # or ProverOpts fields, never ambient environment — a default
+        # service must prove exactly like the seed (the obs contract
+        # pins its telemetry namespace).
+        self.engine = self._build_engine(prover_opts, pool_backend,
+                                         prove_workers)
+        prover = self.engine.prover(prover_opts) \
+            if self.engine is not None else None
         if strategy == "update":
-            self._aggregator = Aggregator(policy, prover_opts)
+            self._aggregator = Aggregator(policy, prover_opts,
+                                          prover=prover)
         elif strategy == "rebuild":
             from .rebuild import RebuildAggregator
-            self._aggregator = RebuildAggregator(policy, prover_opts)
+            self._aggregator = RebuildAggregator(policy, prover_opts,
+                                                 prover=prover)
         else:
             raise ProofError(
                 f"unknown aggregation strategy {strategy!r}; "
@@ -79,11 +91,39 @@ class ProverService:
         self.auto_checkpoint = auto_checkpoint
         self.checkpoint_name = checkpoint_name
         self.query_cache_size = query_cache_size
-        self._query_prover = QueryProver(prover_opts)
+        self._query_prover = QueryProver(prover_opts, prover=prover)
         self._aggregated_windows: set[int] = set()
         self._query_cache: OrderedDict[tuple[str, int], QueryResponse] = \
             OrderedDict()
         self.last_prove_info: ProveInfo | None = None
+
+    def _build_engine(self, prover_opts: ProverOpts | None,
+                      pool_backend: str | None,
+                      prove_workers: int | None):
+        backend = pool_backend
+        if backend is None and prover_opts is not None:
+            backend = prover_opts.pool_backend
+        workers = prove_workers
+        if workers is None and prover_opts is not None:
+            workers = prover_opts.prove_workers
+        if backend is None and workers is None:
+            return None
+        if workers is not None and workers < 1:
+            raise ConfigurationError("prove_workers must be >= 1")
+        from ..engine import ProvingEngine
+        # The receipt cache's persistent tier rides the store's
+        # checkpoint KV, so identical proofs replay across restarts.
+        return ProvingEngine(
+            policy=self.policy,
+            prover_opts=prover_opts or ProverOpts.groth16(),
+            backend=backend or "process",
+            max_workers=workers,
+            store=self.store)
+
+    def close(self) -> None:
+        """Release the engine's worker pool (if any)."""
+        if self.engine is not None:
+            self.engine.close()
 
     @property
     def aggregated_windows(self) -> frozenset[int]:
@@ -103,6 +143,8 @@ class ProverService:
             "auto_checkpoint": self.auto_checkpoint,
             "latest_root": (self.chain.latest.new_root.hex()
                             if len(self.chain) else None),
+            "engine": (self.engine.snapshot()
+                       if self.engine is not None else None),
         }
 
     # -- aggregation ------------------------------------------------------------

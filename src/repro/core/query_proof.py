@@ -65,10 +65,17 @@ class QueryResponse:
 
 
 class QueryProver:
-    """Generates query proofs against the current CLog state."""
+    """Generates query proofs against the current CLog state.
 
-    def __init__(self, prover_opts: ProverOpts | None = None) -> None:
-        self._prover = Prover(prover_opts or ProverOpts.groth16())
+    ``prover`` optionally injects a pool-routed prover (see
+    :class:`repro.engine.pool.PooledProver`); the default proves
+    in-process.
+    """
+
+    def __init__(self, prover_opts: ProverOpts | None = None,
+                 prover: Any | None = None) -> None:
+        self._prover = prover if prover is not None \
+            else Prover(prover_opts or ProverOpts.groth16())
 
     def prove_query(self, sql: str, state: CLogState,
                     agg_receipt: Receipt) -> tuple[QueryResponse,

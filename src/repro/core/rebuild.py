@@ -45,6 +45,7 @@ from .guest_programs import (
     MERGE_CYCLES,
     RECORD_TAG_BYTES,
     _guest_claim_digest,
+    register_guest,
 )
 from .policy import DEFAULT_POLICY, AggregationPolicy
 
@@ -173,14 +174,19 @@ def _encode_wire(env: GuestEnv, wire: dict[str, Any]) -> bytes:
     return payload
 
 
+register_guest(rebuild_aggregation_guest)
+
+
 class RebuildAggregator:
     """Drop-in alternative to :class:`~repro.core.aggregation.Aggregator`
     proving rounds by full reconstruction."""
 
     def __init__(self, policy: AggregationPolicy = DEFAULT_POLICY,
-                 prover_opts: ProverOpts | None = None) -> None:
+                 prover_opts: ProverOpts | None = None,
+                 prover: Any | None = None) -> None:
         self.policy = policy
-        self._prover = Prover(prover_opts or ProverOpts.groth16())
+        self._prover = prover if prover is not None \
+            else Prover(prover_opts or ProverOpts.groth16())
 
     def aggregate(self, state: CLogState,
                   windows: list[RouterWindowInput],

@@ -17,7 +17,7 @@ exactly the logic it uses in production.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import (
@@ -42,6 +42,7 @@ STORE_ROUTER_IDS = "store.router_ids"
 BULLETIN_GET = "bulletin.get"
 PROVER_PROVE = "prover.prove"
 NET_TRANSPORT = "net.transport"
+ENGINE_WORKER = "engine.worker"
 
 KNOWN_SITES = frozenset({
     STORE_WINDOW_BLOBS,
@@ -50,6 +51,7 @@ KNOWN_SITES = frozenset({
     BULLETIN_GET,
     PROVER_PROVE,
     NET_TRANSPORT,
+    ENGINE_WORKER,
 })
 
 # -- error kinds -------------------------------------------------------------

@@ -138,9 +138,15 @@ def inject_faults(service: Any, injector: FaultInjector) -> Any:
     ``injector`` (in place); returns the service for chaining.
 
     This is the explicit wiring step chaos tests perform — nothing in
-    the library calls it on its own.
+    the library calls it on its own.  When the service runs a proving
+    engine, its pool is pointed at the same injector, so ``engine.worker``
+    faults fire at job dispatch — the host-side moment a worker crash
+    surfaces — deterministically on every backend.
     """
     service.store = FaultyLogStore(service.store, injector)
     service.bulletin = FaultyBulletin(service.bulletin, injector)
     service._aggregator = FaultyAggregator(service._aggregator, injector)
+    engine = getattr(service, "engine", None)
+    if engine is not None:
+        engine.pool.injector = injector
     return service

@@ -39,6 +39,8 @@ TAG_TRANSCRIPT = "repro/zkvm/transcript"
 TAG_ASSUMPTION = "repro/zkvm/assumption"
 TAG_QUERY = "repro/query/text"
 TAG_CHAIN = "repro/core/chain"
+TAG_ENGINE_OPTS = "repro/engine/opts"
+TAG_ENGINE_KEY = "repro/engine/cache-key"
 
 
 class Digest:

@@ -261,6 +261,47 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent,
                           sort_keys=True)
 
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        The propagation path for process-pool prover workers: the
+        worker captures its own registry, ships the snapshot home with
+        the job result, and the host merges it so cross-process rounds
+        report the same executor/prover series as in-process rounds.
+        Counters and histogram series *add*; gauges take the incoming
+        value (last write wins — worker gauges are rare and advisory).
+        Histogram merging requires matching bucket bounds.
+        """
+        for entry in snapshot.get("counters", ()):
+            family = self.counter(entry["name"], entry["label_names"])
+            for series in entry["series"]:
+                family.inc(series["value"], **series["labels"])
+        for entry in snapshot.get("gauges", ()):
+            family = self.gauge(entry["name"], entry["label_names"])
+            for series in entry["series"]:
+                family.set(series["value"], **series["labels"])
+        for entry in snapshot.get("histograms", ()):
+            family = self.histogram(entry["name"], entry["label_names"],
+                                    buckets=entry["buckets"])
+            if family.buckets != tuple(float(b)
+                                       for b in entry["buckets"]):
+                raise ConfigurationError(
+                    f"histogram {entry['name']} bucket bounds differ "
+                    "between snapshots; cannot merge")
+            for series in entry["series"]:
+                key = _label_key(family.label_names, series["labels"])
+                with family._lock:
+                    existing = family._series.get(key)
+                    if existing is None:
+                        existing = {
+                            "counts": [0] * (len(family.buckets) + 1),
+                            "sum": 0.0, "count": 0}
+                        family._series[key] = existing
+                    for slot, count in enumerate(series["counts"]):
+                        existing["counts"][slot] += count
+                    existing["sum"] += series["sum"]
+                    existing["count"] += series["count"]
+
     @classmethod
     def from_snapshot(cls, snapshot: Mapping[str, Any]
                       ) -> "MetricsRegistry":
@@ -337,6 +378,9 @@ class NullRegistry:
 
     def snapshot(self) -> dict[str, Any]:
         return {"counters": [], "gauges": [], "histograms": []}
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        pass
 
 
 NULL_REGISTRY = NullRegistry()

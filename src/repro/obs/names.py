@@ -22,6 +22,7 @@ SPAN_PARALLEL_MERGE = "agg.parallel.merge"
 SPAN_QUERY_PROVE = "query.prove"
 SPAN_NET_SERVER_REQUEST = "net.server.request"
 SPAN_NET_CLIENT_REQUEST = "net.client.request"
+SPAN_ENGINE_JOB = "engine.job"
 
 SPAN_NAMES = frozenset({
     SPAN_EXECUTE,
@@ -35,6 +36,7 @@ SPAN_NAMES = frozenset({
     SPAN_QUERY_PROVE,
     SPAN_NET_SERVER_REQUEST,
     SPAN_NET_CLIENT_REQUEST,
+    SPAN_ENGINE_JOB,
 })
 
 # -- metric names (name -> declared label names) -----------------------------
@@ -66,6 +68,16 @@ DAEMON_FAULTS = "repro_daemon_faults_total"
 DAEMON_RETRIES = "repro_daemon_retries_total"
 DAEMON_QUARANTINED = "repro_daemon_quarantined"
 DAEMON_HEALTH = "repro_daemon_health"
+
+# proving engine (pool + scheduler + receipt cache)
+ENGINE_JOBS = "repro_engine_jobs_total"
+ENGINE_JOB_SECONDS = "repro_engine_job_seconds"
+ENGINE_QUEUE_DEPTH = "repro_engine_queue_depth"
+ENGINE_WORKERS = "repro_engine_workers"
+ENGINE_WORKERS_BUSY = "repro_engine_workers_busy"
+ENGINE_CACHE = "repro_engine_cache_total"
+ENGINE_ROUND_REAL_SECONDS = "repro_engine_round_real_seconds"
+ENGINE_ROUND_MODELED_SECONDS = "repro_engine_round_modeled_seconds"
 
 # query proving
 QUERY_PROOFS = "repro_query_proofs_total"
@@ -110,6 +122,14 @@ METRIC_LABELS: dict[str, tuple[str, ...]] = {
     DAEMON_RETRIES: (),
     DAEMON_QUARANTINED: (),
     DAEMON_HEALTH: (),
+    ENGINE_JOBS: ("guest", "outcome"),
+    ENGINE_JOB_SECONDS: ("guest",),
+    ENGINE_QUEUE_DEPTH: (),
+    ENGINE_WORKERS: (),
+    ENGINE_WORKERS_BUSY: (),
+    ENGINE_CACHE: ("tier", "result"),
+    ENGINE_ROUND_REAL_SECONDS: (),
+    ENGINE_ROUND_MODELED_SECONDS: (),
     QUERY_PROOFS: (),
     QUERY_SECONDS: (),
     NET_SERVER_REQUESTS: ("kind", "status"),

@@ -44,10 +44,21 @@ SEGMENT_SEAL_SIZE = 1024
 
 @dataclass(frozen=True)
 class ProverOpts:
-    """Prover configuration (mirrors ``risc0_zkvm::ProverOpts``)."""
+    """Prover configuration (mirrors ``risc0_zkvm::ProverOpts``).
+
+    ``kind`` and ``num_queries`` shape the *proof statement* and feed
+    the engine's content-addressed cache key.  ``pool_backend`` and
+    ``prove_workers`` are host-side scheduling knobs for
+    :mod:`repro.engine` (where the proof runs, not what it says) — they
+    are deliberately excluded from
+    :attr:`repro.engine.jobs.ProofJob.opts_digest` so a receipt proven
+    on one backend is a cache hit on any other.
+    """
 
     kind: ReceiptKind = ReceiptKind.GROTH16
     num_queries: int = 16
+    pool_backend: str | None = None
+    prove_workers: int | None = None
 
     @classmethod
     def composite(cls) -> "ProverOpts":

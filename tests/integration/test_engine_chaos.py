@@ -1,0 +1,153 @@
+"""Chaos tests for the proving engine under the supervised daemon.
+
+The ``engine.worker`` fault site models a prover worker dying at job
+dispatch — the host-side moment a crash surfaces on any backend.  Two
+invariants must hold when it fires:
+
+* transient worker faults are absorbed by the daemon's retry schedule
+  and the surviving chain is bit-identical to a fault-free run, and
+* a permanently poisoned window is quarantined after ``max_attempts``
+  without stalling the pool — every other window still proves through
+  the same engine.
+"""
+
+import os
+
+import pytest
+
+from repro.commitments import BulletinBoard, Commitment, window_digest
+from repro.core.daemon import AggregationDaemon, DaemonPolicy
+from repro.core.prover_service import ProverService
+from repro.faults import FaultInjector, FaultPlan, inject_faults
+from repro.netflow.clock import SimClock
+from repro.storage import MemoryLogStore
+
+from ..conftest import make_record
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+def populate(store, bulletin, windows=3, rows_per_window=2):
+    for window in range(windows):
+        for router in ("r1", "r2"):
+            records = [
+                make_record(router_id=router,
+                            sport=1_000 + window * 10 + j)
+                for j in range(rows_per_window)
+            ]
+            store.append_records(router, window, records)
+            bulletin.publish(Commitment(
+                router, window,
+                window_digest([r.to_bytes() for r in records]),
+                len(records), window * 5_000))
+
+
+def clean_root(windows=3):
+    store = MemoryLogStore()
+    bulletin = BulletinBoard()
+    populate(store, bulletin, windows=windows)
+    service = ProverService(store, bulletin)
+    for window in range(windows):
+        service.aggregate_window(window)
+    return service.state.root
+
+
+def pooled_service(**kwargs):
+    store = MemoryLogStore()
+    bulletin = BulletinBoard()
+    populate(store, bulletin, **kwargs)
+    return ProverService(store, bulletin, pool_backend="thread",
+                         prove_workers=2)
+
+
+class TestEngineWorkerFaults:
+    def test_transient_worker_faults_absorbed(self):
+        """Worker deaths on a retry-friendly schedule: the daemon
+        converges to the clean root and nothing is quarantined."""
+        service = pooled_service()
+        injector = FaultInjector(FaultPlan.parse(
+            "engine.worker:proof:start=2,every=3,count=3", seed=SEED))
+        inject_faults(service, injector)
+        daemon = AggregationDaemon(
+            service, SimClock(),
+            DaemonPolicy(batch_limit=1, max_lag_ms=0, max_attempts=10,
+                         retry_base_ms=100, retry_max_ms=500,
+                         stall_after=50),
+            seed=SEED)
+        try:
+            for _ in range(200):
+                daemon.step()
+                daemon.clock.advance_ms(600)
+                if not daemon.pending_windows() and \
+                        not daemon.quarantined:
+                    break
+            assert daemon.quarantined == {}
+            assert service.aggregated_windows == {0, 1, 2}
+            assert service.state.root == clean_root()
+            # The plan actually killed jobs at the engine...
+            assert injector.stats()["injected"]["engine.worker"] > 0
+            snap = service.status()["engine"]
+            assert snap["jobs_failed"] > 0
+            # ...and the pool drained: nothing left in flight.
+            assert snap["in_flight"] == 0
+        finally:
+            service.close()
+
+    def test_poisoned_window_quarantined_pool_not_stalled(self):
+        """One window can never prove (bad commitment → guest abort
+        every attempt).  It must be quarantined after max_attempts
+        while the same pool keeps proving every other window."""
+        store = MemoryLogStore()
+        bulletin = BulletinBoard()
+        populate(store, bulletin, windows=3)
+        poison = [make_record(router_id="r3", sport=9)]
+        store.append_records("r3", 1, poison)
+        bulletin.publish(Commitment(
+            "r3", 1, window_digest([b"poison"]), 1, 5_000))
+        service = ProverService(store, bulletin, pool_backend="thread",
+                                prove_workers=2)
+        injector = FaultInjector(FaultPlan.parse(
+            "engine.worker:proof:count=2", seed=SEED))
+        inject_faults(service, injector)
+        daemon = AggregationDaemon(
+            service, SimClock(),
+            DaemonPolicy(batch_limit=1, max_lag_ms=0, max_attempts=3,
+                         retry_base_ms=50, retry_max_ms=200,
+                         stall_after=50),
+            seed=SEED)
+        try:
+            for _ in range(200):
+                daemon.step()
+                daemon.clock.advance_ms(300)
+                if not daemon.pending_windows():
+                    break
+            assert set(daemon.quarantined) == {1}
+            assert service.aggregated_windows == {0, 2}
+            assert daemon.health()["state"] == "degraded"
+            snap = service.status()["engine"]
+            assert snap["in_flight"] == 0  # pool drained, not stalled
+            assert snap["jobs_done"] > 0
+            # The operator hook still works with an engine attached.
+            assert daemon.requeue(1) is True
+            assert 1 in daemon.pending_windows()
+        finally:
+            service.close()
+
+    def test_engine_faults_use_domain_errors(self):
+        """An injected engine.worker fault surfaces as the same
+        ProofError a real worker death produces — so the daemon's
+        classify/retry logic needs no special case."""
+        from repro.errors import ProofError
+        service = pooled_service(windows=1)
+        injector = FaultInjector(FaultPlan.parse(
+            "engine.worker:proof:count=1", seed=SEED))
+        inject_faults(service, injector)
+        try:
+            with pytest.raises(ProofError):
+                service.aggregate_window(0)
+            # Next attempt rides the same pool and succeeds.
+            result = service.aggregate_window(0)
+            assert result.record_count == 4
+            assert 0 in service.aggregated_windows
+        finally:
+            service.close()

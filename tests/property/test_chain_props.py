@@ -1,7 +1,6 @@
 """Property test: random round sequences always produce verifiable
 chains whose content matches ground truth (chain soak test)."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

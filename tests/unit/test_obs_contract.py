@@ -265,3 +265,71 @@ class TestWireContract:
             assert cap.registry.get(
                 "repro_net_client_requests_total").value(
                 kind="health", status="err") == 1
+
+
+ENGINE_METRIC_LABELS = {
+    "repro_engine_jobs_total": ("guest", "outcome"),
+    "repro_engine_job_seconds": ("guest",),
+    "repro_engine_queue_depth": (),
+    "repro_engine_workers": (),
+    "repro_engine_workers_busy": (),
+    "repro_engine_cache_total": ("tier", "result"),
+    "repro_engine_round_real_seconds": (),
+    "repro_engine_round_modeled_seconds": (),
+}
+
+ENGINE_SPAN = "engine.job"
+
+
+class TestEngineContract:
+    """The engine's telemetry namespace, pinned like the e2e set.
+
+    The engine is explicit opt-in on :class:`ProverService`, so the
+    sequential contract above stays byte-for-byte unchanged; these
+    names appear only when a pool is configured (or a
+    ``ParallelAggregator`` round runs, which always routes through the
+    engine).
+    """
+
+    def test_parallel_round_emits_engine_metrics(self):
+        from repro.core.parallel import ParallelAggregator
+        from repro.commitments import window_digest
+        from repro.core.aggregation import RouterWindowInput
+        from ..conftest import make_record
+        inputs = []
+        for i in (1, 2):
+            blobs = tuple(
+                make_record(router_id=f"r{i}", sport=1000 + j).to_bytes()
+                for j in range(2))
+            inputs.append(RouterWindowInput(
+                router_id=f"r{i}", window_index=0,
+                commitment=window_digest(list(blobs)), blobs=blobs))
+        aggregator = ParallelAggregator(backend="serial")
+        with obs.capture() as cap:
+            aggregator.aggregate(inputs)
+            for name, labels in ENGINE_METRIC_LABELS.items():
+                assert cap.registry.label_names(name) == labels, name
+            jobs = cap.registry.get("repro_engine_jobs_total")
+            assert jobs.value(guest="telemetry-partition-v1",
+                              outcome="ok") == 2
+            assert jobs.value(guest="telemetry-merge-v1",
+                              outcome="ok") == 1
+            # Warm round: every proof replays from the cache.
+            aggregator.aggregate(inputs)
+            assert jobs.value(guest="telemetry-partition-v1",
+                              outcome="cached") == 2
+            cache = cap.registry.get("repro_engine_cache_total")
+            assert cache.value(tier="memory", result="hit") == 3
+
+    def test_pooled_service_emits_engine_job_spans(self):
+        store, bulletin, _ = make_committed_records(20)
+        service = ProverService(store, bulletin, pool_backend="thread",
+                                prove_workers=2)
+        try:
+            with obs.capture() as cap:
+                service.aggregate_all_committed()
+                spans = cap.exporter.by_name(ENGINE_SPAN)
+                assert len(spans) >= 1
+                assert all("cached" in s.attributes for s in spans)
+        finally:
+            service.close()

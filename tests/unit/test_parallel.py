@@ -6,7 +6,7 @@ from repro.commitments import window_digest
 from repro.core.aggregation import RouterWindowInput
 from repro.core.guest_programs import merge_guest
 from repro.core.parallel import ParallelAggregator
-from repro.core.policy import AggOp, AggregationPolicy, DEFAULT_POLICY
+from repro.core.policy import AggOp, AggregationPolicy
 from repro.errors import ConfigurationError, GuestAbort
 from repro.hashing import sha256
 from repro.zkvm import verify_receipt
@@ -124,3 +124,41 @@ class TestParallelAggregation:
         with pytest.raises((ConfigurationError, GuestAbort)):
             ParallelAggregator(policy=policy).aggregate(
                 four_router_inputs)
+
+
+class TestConstructorValidation:
+    """Bad configuration must fail at construction — before any pool
+    or worker is spun up — identically on every backend."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_zero_partitions_rejected_in_constructor(self, backend):
+        with pytest.raises(ConfigurationError):
+            ParallelAggregator(num_partitions=0, backend=backend)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_negative_partitions_rejected_in_constructor(self, backend):
+        with pytest.raises(ConfigurationError):
+            ParallelAggregator(num_partitions=-3, backend=backend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelAggregator(backend="quantum")
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_constructor_partitions_used_by_aggregate(
+            self, backend, four_router_inputs):
+        result = ParallelAggregator(
+            num_partitions=2, backend=backend).aggregate(
+                four_router_inputs)
+        assert len(result.partition_infos) == 2
+
+    def test_receipt_cache_shared_across_aggregate_calls(
+            self, four_router_inputs):
+        """The aggregator's cache persists across rounds: a repeated
+        identical round replays every proof."""
+        aggregator = ParallelAggregator(backend="serial")
+        cold = aggregator.aggregate(four_router_inputs)
+        warm = aggregator.aggregate(four_router_inputs)
+        assert warm.receipt.to_wire() == cold.receipt.to_wire()
+        assert all(info.cached for info in warm.partition_infos)
+        assert warm.merge_info.cached

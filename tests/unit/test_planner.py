@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.planner import QueryPlanner, estimate_query_cost
+from repro.core.planner import QueryPlanner
 from repro.core.prover_service import ProverService
 from repro.errors import QuerySyntaxError
 from repro.zkvm.costmodel import CostModel, ProverBackend
