@@ -6,6 +6,12 @@ crosses process boundaries as a canonical wire blob (not a pickle of
 live objects: :class:`~repro.zkvm.guest.GuestProgram` instances do not
 pickle by reference), and the worker resolves the name back to code
 through the guest registry in :mod:`repro.core.guest_programs`.
+Workers start from a clean interpreter (spawn/forkserver — never a
+fork of a threaded parent), so the registry there only holds the
+guests :mod:`repro.core` registers at import; :attr:`ProofJob.
+guest_module` records the defining module of any *other* guest and the
+worker imports it on a resolve miss — registration is an import-time
+side effect, so the import completes the registry.
 
 Content addressing: ``cache_key(image_id)`` digests the resolved guest
 image id, the executor-input commitment, and the opts digest.  Using
@@ -22,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from ..errors import SerializationError
+from ..errors import ConfigurationError, SerializationError
 from ..hashing import TAG_ENGINE_KEY, TAG_ENGINE_OPTS, Digest, tagged_hash
 from ..serialization import decode, encode
 from ..zkvm.executor import ExecutorInput
@@ -39,15 +45,24 @@ class ProofJob:
     frames: tuple[bytes, ...]
     kind: str = ReceiptKind.GROTH16.value
     num_queries: int = 16
+    #: Defining module of the guest — a *resolution hint* for spawned
+    #: workers, never part of the content address (the image id binds
+    #: the code; where it was imported from does not change the claim).
+    guest_module: str | None = None
 
     @classmethod
     def from_parts(cls, program: GuestProgram | str,
                    env_input: ExecutorInput,
                    opts: ProverOpts | None = None) -> "ProofJob":
         opts = opts or ProverOpts()
-        name = program if isinstance(program, str) else program.name
+        if isinstance(program, str):
+            name, module = program, None
+        else:
+            name = program.name
+            module = getattr(program.fn, "__module__", None)
         return cls(guest_id=name, frames=tuple(env_input.frames),
-                   kind=opts.kind.value, num_queries=opts.num_queries)
+                   kind=opts.kind.value, num_queries=opts.num_queries,
+                   guest_module=module)
 
     def env_input(self) -> ExecutorInput:
         return ExecutorInput(frames=self.frames)
@@ -75,7 +90,8 @@ class ProofJob:
 
     def to_wire(self) -> dict[str, Any]:
         return {"guest_id": self.guest_id, "frames": list(self.frames),
-                "kind": self.kind, "num_queries": self.num_queries}
+                "kind": self.kind, "num_queries": self.num_queries,
+                "guest_module": self.guest_module}
 
     @classmethod
     def from_wire(cls, wire: dict[str, Any]) -> "ProofJob":
@@ -83,7 +99,8 @@ class ProofJob:
             return cls(guest_id=wire["guest_id"],
                        frames=tuple(wire["frames"]),
                        kind=wire["kind"],
-                       num_queries=wire["num_queries"])
+                       num_queries=wire["num_queries"],
+                       guest_module=wire.get("guest_module"))
         except (KeyError, TypeError) as exc:
             raise SerializationError(
                 f"malformed proof job wire: {exc}") from exc
@@ -156,7 +173,19 @@ def execute_job(job: ProofJob, capture_obs: bool = False) -> JobResult:
     they propagate intact through a ``ProcessPoolExecutor`` future.
     """
     from ..core.guest_programs import resolve_guest
-    program = resolve_guest(job.guest_id)
+    try:
+        program = resolve_guest(job.guest_id)
+    except ConfigurationError:
+        # Spawned workers only import repro.core; a guest registered by
+        # another module (tests, plugins) registers itself when its
+        # defining module is imported, so the hint completes the
+        # registry — then resolve again, raising the real error if the
+        # guest still is not there.
+        if not job.guest_module:
+            raise
+        import importlib
+        importlib.import_module(job.guest_module)
+        program = resolve_guest(job.guest_id)
     if capture_obs:
         from ..obs import runtime as obs
         with obs.capture() as handle:

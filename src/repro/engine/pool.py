@@ -239,9 +239,20 @@ class ProverPool:
                 max_workers=self.max_workers,
                 thread_name_prefix="repro-prover")
         import multiprocessing
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
+        # Never fork: the serve path builds this pool in a process that
+        # already runs the asyncio server and supervision threads, and
+        # forking a multi-threaded parent can deadlock children on locks
+        # held mid-operation by other threads (it is also deprecated on
+        # Python 3.12+).  Workers start from a clean process instead —
+        # jobs cross as wire blobs and guests re-resolve by name, so no
+        # inherited state is needed (see ProofJob.guest_module).
+        for method in ("forkserver", "spawn"):
+            try:
+                context = multiprocessing.get_context(method)
+                break
+            except ValueError:  # pragma: no cover - platform-specific
+                continue
+        else:  # pragma: no cover - every platform has spawn
             context = multiprocessing.get_context()
         return ProcessPoolExecutor(max_workers=self.max_workers,
                                    mp_context=context,
@@ -252,7 +263,12 @@ class ProverPool:
             with self._lock:
                 # Drop the poisoned executor; the next submit builds a
                 # fresh one instead of failing forever.
-                self._executor = None
+                executor, self._executor = self._executor, None
+            if executor is not None:
+                # Reap its queue-management thread and process handles
+                # (wait=False: the workers are already dead); outside
+                # the lock — shutdown joins internals.
+                executor.shutdown(wait=False)
             return ProofError(f"prover worker process died: {exc}")
         return exc
 

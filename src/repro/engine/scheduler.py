@@ -263,11 +263,16 @@ class _RoundSchedule:
         try:
             self._submit_merge(
                 self, [f.result() for f in self.partition_futures])
-        except Exception:
-            # submit() reports failures through the future; anything
-            # thrown here (encoding bugs) must still unblock collection.
+        except Exception as exc:
+            # Anything thrown before submit() hands back a future
+            # (receipt-binding/encoding bugs) runs on an executor
+            # callback thread where a raise would vanish — park the
+            # exception on a pre-failed merge future so _collect
+            # surfaces it as the round's error.
+            failed: Future = Future()
+            failed.set_exception(exc)
+            self.merge_future = failed
             self.merge_ready.set()
-            raise
 
 
 def _partition_env(policy: Any, index: int,

@@ -498,6 +498,23 @@ class TestProvingEngine:
         assert isinstance(outcomes[0].error, ProofError)
         assert outcomes[1].ok is True
 
+    def test_merge_submission_failure_surfaces(self, monkeypatch):
+        """An exception thrown while *building* the merge job (after
+        every partition proved) runs on a future callback — it must
+        come back as the round's error, not vanish into the callback
+        thread leaving _collect to crash on a None merge future."""
+        boom = SerializationError("receipt binding exploded")
+
+        def broken_submit(schedule, partition_results):
+            raise boom
+
+        with ProvingEngine(backend="serial") as engine:
+            monkeypatch.setattr(engine, "_submit_merge", broken_submit)
+            outcomes = engine.prove_rounds([router_inputs(2)],
+                                           num_partitions=2)
+        assert outcomes[0].ok is False
+        assert outcomes[0].error is boom
+
     def test_warm_round_replays_from_cache(self):
         """Re-proving an identical round must hit the cache for every
         partition and the merge."""
