@@ -88,7 +88,9 @@ def rebuild_service(db: pathlib.Path, bulletin_path: pathlib.Path,
                     auto_checkpoint: bool = False,
                     restore: bool = False,
                     pool_backend: str | None = None,
-                    prove_workers: int | None = None) -> ProverService:
+                    prove_workers: int | None = None,
+                    query_partitions: int | None = None
+                    ) -> ProverService:
     """A prover service over the persisted store/bulletin.
 
     With ``restore=True``, load the latest verified checkpoint from the
@@ -102,7 +104,8 @@ def rebuild_service(db: pathlib.Path, bulletin_path: pathlib.Path,
     service = ProverService(store, bulletin, strategy=strategy,
                             auto_checkpoint=auto_checkpoint,
                             pool_backend=pool_backend,
-                            prove_workers=prove_workers)
+                            prove_workers=prove_workers,
+                            query_partitions=query_partitions)
     if restore:
         if service.restore():
             return service
@@ -176,7 +179,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         raise ReproError(
             "query needs either --connect HOST:PORT or all of "
             "--db/--bulletin/--receipts")
-    service = rebuild_service(args.db, args.bulletin, args.receipts)
+    service = rebuild_service(args.db, args.bulletin, args.receipts,
+                              query_partitions=args.query_partitions)
     response = service.answer_query(args.sql)
     verifier = VerifierClient(service.bulletin)
     chain = verifier.verify_chain(service.chain.receipts())
@@ -221,7 +225,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                               auto_checkpoint=args.auto_checkpoint,
                               restore=args.restore,
                               pool_backend=args.pool_backend,
-                              prove_workers=args.prove_workers)
+                              prove_workers=args.prove_workers,
+                              query_partitions=args.query_partitions)
     server = ProverServer(
         service, host=args.host, port=args.port,
         request_timeout=args.request_timeout,
@@ -449,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of local files")
     p.add_argument("--out", type=pathlib.Path, default=None,
                    help="write the query receipt JSON here")
+    p.add_argument("--query-partitions", type=int, default=None,
+                   metavar="K",
+                   help="split the query proof into up to K "
+                        "slot-range partitions proven in parallel "
+                        "(REPRO_QUERY_PARTITIONS tunes an "
+                        "engine-backed service the same way)")
     p.add_argument("sql", help="e.g. 'SELECT COUNT(*) FROM clogs'")
     p.set_defaults(fn=cmd_query)
 
@@ -484,6 +495,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["serial", "thread", "process"],
                    help="proving pool backend (implies the engine even "
                         "without --prove-workers)")
+    p.add_argument("--query-partitions", type=int, default=None,
+                   metavar="K",
+                   help="answer queries as up to K partial proofs "
+                        "merged through the engine when the planner "
+                        "models that faster (implies the engine)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("metrics",

@@ -1,6 +1,6 @@
 """The zkVM guest programs (what would be the Rust guest crate).
 
-Three circuits:
+The circuits:
 
 * :data:`aggregation_guest` — Algorithm 1: verify the previous round's
   claim (via ``env.verify`` recursion), recompute every router window's
@@ -12,6 +12,12 @@ Three circuits:
 * :data:`partition_guest` / :data:`merge_guest` — §7 "Proof
   parallelization": per-partition partial aggregation proofs merged by a
   guest that verifies each partition claim.
+* :data:`query_partition_guest` / :data:`query_merge_guest` — the same
+  decomposition applied to queries: each partition proves partial
+  aggregates over an aligned slot range of the committed tree (bound to
+  the aggregation root through a subtree sibling path) and the merge
+  guest folds the partials into a journal byte-identical to
+  :data:`query_guest`'s.
 
 Everything the guests hash or verify is charged to the cycle meter; the
 constants below set the generic-compute costs (decode, merge, predicate
@@ -40,7 +46,7 @@ from ..errors import ConfigurationError
 from ..merkle import MerkleTree
 from ..merkle.tree import EMPTY_ROOTS
 from ..netflow.records import NetFlowRecord
-from ..query import evaluate, parse_query
+from ..query import evaluate, evaluate_partial, merge_partials, parse_query
 from ..serialization import decode, decode_stream
 from ..zkvm.guest import GuestEnv, GuestProgram, guest_program
 from .clog import CLogEntry, entry_view_from_wire
@@ -367,6 +373,9 @@ def merge_guest(env: GuestEnv) -> None:
             env.abort("partition journal has no header")
         if part_header["policy"] != policy.digest():
             env.abort("partition used a different aggregation policy")
+        if binding["image_id"] != partition_guest.image_id:
+            env.abort("partition receipt was not produced by the "
+                      "partition guest")
         env.verify(binding["image_id"], claim_digest)
         windows.extend(part_header["windows"])
         for item in values[1:]:
@@ -391,6 +400,184 @@ def merge_guest(env: GuestEnv) -> None:
         "windows": windows,
         "policy": policy.digest(),
         "entries": len(order),
+    })
+
+
+@guest_program("telemetry-query-partition-v1")
+def query_partition_guest(env: GuestEnv) -> None:
+    """Partitioned §4.2 query proving: partial aggregates over one
+    aligned slot range of the committed CLog.
+
+    Input frames: partition header (query, partition geometry, subtree
+    sibling path); aggregation-receipt binding; then the partition's
+    entries (key, payload) in slot order.  The guest rebuilds the
+    partition's aligned-subtree node from its entries (padding with
+    empty-subtree roots, mirroring the main tree's right-padding rule)
+    and folds it up the sibling path to the aggregation root — proving
+    the entries are exactly slots ``[start, start + count)`` of the
+    attested dataset, so partitions that each verify and together tile
+    ``[0, size)`` give the same completeness guarantee as a full scan.
+    The journal carries mergeable accumulator states, not final values.
+    """
+    header = env.read()
+    binding = env.read()
+    env.tick(len(binding["journal"]) * DECODE_CYCLES_PER_BYTE, "verify")
+    claim_digest = _guest_claim_digest(env, binding)
+    agg_values = decode_stream(binding["journal"])
+    agg_header = next(agg_values, None)
+    if not isinstance(agg_header, dict):
+        env.abort("aggregation journal has no header")
+    env.verify(binding["image_id"], claim_digest)
+    root: Digest = agg_header["new_root"]
+    size: int = agg_header["size"]
+    if size <= 0:
+        env.abort("cannot partition an empty CLog")
+
+    partition: int = header["partition"]
+    num_partitions: int = header["num_partitions"]
+    chunk_po2: int = header["chunk_po2"]
+    start: int = header["start"]
+    count: int = header["count"]
+    siblings: list[Digest] = header["siblings"]
+
+    depth = 0
+    while (1 << depth) < size:
+        depth += 1
+    if not 0 <= chunk_po2 <= depth:
+        env.abort("chunk size out of range for the committed tree")
+    chunk = 1 << chunk_po2
+    if num_partitions != (size + chunk - 1) // chunk:
+        env.abort("partition count does not tile the committed tree")
+    if not 0 <= partition < num_partitions:
+        env.abort("partition index out of range")
+    if start != partition << chunk_po2 \
+            or count != min(size - start, chunk) or count <= 0:
+        env.abort("partition range does not match its slot alignment")
+    if len(siblings) != depth - chunk_po2:
+        env.abort("sibling path length does not match partition depth")
+
+    hasher = env.merkle_hasher()
+    leaves: list[Digest] = []
+    views: list[dict[str, Any]] = []
+    for _ in range(count):
+        frame = env.read()
+        key_bytes: bytes = frame["key"]
+        payload: bytes = frame["payload"]
+        leaves.append(hasher.leaf(key_bytes + payload))
+        env.tick(len(payload) * DECODE_CYCLES_PER_BYTE, "decode")
+        wire = decode(payload)
+        if wire["key"] != key_bytes:
+            env.abort("entry payload key does not match frame key")
+        env.tick(QUERY_VIEW_CYCLES, "decode")
+        views.append(entry_view_from_wire(wire))
+    subtree = MerkleTree(leaves, hasher=hasher)
+    sub_root = subtree.root
+    for height in range(subtree.depth, chunk_po2):
+        sub_root = hasher.node(sub_root, EMPTY_ROOTS[height])
+    if _path_root(hasher, sub_root, partition, siblings) != root:
+        env.abort("partition entries do not reproduce the committed root")
+
+    sql: str = header["query"]
+    env.tick(len(sql) * PARSE_CYCLES_PER_BYTE, "parse")
+    query = parse_query(sql)
+    partial = evaluate_partial(
+        query, views,
+        cost_hook=lambda nodes: env.tick(nodes * QUERY_NODE_CYCLES,
+                                         "evaluate"))
+    journal = {
+        "query": sql,
+        "root": root,
+        "round": agg_header["round"],
+        "size": size,
+        "partition": partition,
+        "num_partitions": num_partitions,
+        "chunk_po2": chunk_po2,
+        "start": start,
+        "group_by": partial.group_by,
+    }
+    journal.update(partial.to_wire())
+    env.commit(journal)
+
+
+@guest_program("telemetry-query-merge-v1")
+def query_merge_guest(env: GuestEnv) -> None:
+    """Fold per-partition partial query aggregates into the final §4.2
+    query journal.
+
+    Verifies one resolved partition receipt per partition — pinning the
+    partition guest's image id, so a journal of the right shape from
+    any *other* guest cannot be folded in — checks the partials tile
+    the committed entry set exactly (same query/root/round/size, every
+    partition index exactly once, scanned counts summing to the size),
+    and commits a journal byte-identical to the single-pass
+    :data:`query_guest`'s.
+    """
+    header = env.read()
+    sql: str = header["query"]
+    num_partitions: int = header["num_partitions"]
+    if num_partitions < 1:
+        env.abort("merge needs at least one partition")
+    root: Digest | None = None
+    round_index = None
+    size = None
+    chunk_po2 = None
+    seen: set[int] = set()
+    scanned_total = 0
+    partials: list[dict[str, Any]] = []
+    for _ in range(num_partitions):
+        binding = env.read()
+        if binding["image_id"] != query_partition_guest.image_id:
+            env.abort("partition receipt was not produced by the "
+                      "query partition guest")
+        env.tick(len(binding["journal"]) * DECODE_CYCLES_PER_BYTE,
+                 "verify")
+        claim_digest = _guest_claim_digest(env, binding)
+        env.verify(binding["image_id"], claim_digest)
+        values = list(decode_stream(binding["journal"]))
+        part = values[0] if len(values) == 1 else None
+        if not isinstance(part, dict):
+            env.abort("partition journal is not a single header")
+        if part["query"] != sql:
+            env.abort("partition proved a different query")
+        if part["num_partitions"] != num_partitions:
+            env.abort("partition disagrees on the partition count")
+        if root is None:
+            root = part["root"]
+            round_index = part["round"]
+            size = part["size"]
+            chunk_po2 = part["chunk_po2"]
+        elif part["root"] != root or part["round"] != round_index \
+                or part["size"] != size \
+                or part["chunk_po2"] != chunk_po2:
+            env.abort("partitions bind different aggregation states")
+        index = part["partition"]
+        if index in seen:
+            env.abort(f"partition {index} appears twice")
+        seen.add(index)
+        if part["start"] != index << chunk_po2:
+            env.abort("partition start does not match its index")
+        scanned_total += part["scanned"]
+        partials.append(part)
+    if len(seen) != num_partitions or scanned_total != size:
+        env.abort("partitions do not cover the committed entry set")
+
+    env.tick(len(sql) * PARSE_CYCLES_PER_BYTE, "parse")
+    query = parse_query(sql)
+    result = merge_partials(
+        query, partials,
+        cost_hook=lambda states: env.tick(states * MERGE_CYCLES,
+                                          "merge"))
+    env.commit({
+        "query": sql,
+        "root": root,
+        "round": round_index,
+        "labels": list(result.labels),
+        "values": list(result.values),
+        "matched": result.matched,
+        "scanned": result.scanned,
+        "group_by": result.group_by,
+        "groups": [[key, list(values)]
+                   for key, values in result.groups],
     })
 
 
@@ -432,5 +619,5 @@ def resolve_guest(name: str) -> GuestProgram:
 
 
 for _program in (aggregation_guest, query_guest, partition_guest,
-                 merge_guest):
+                 merge_guest, query_partition_guest, query_merge_guest):
     register_guest(_program)

@@ -11,19 +11,29 @@ the same cost constants (`repro.core.guest_programs`,
 `repro.zkvm.cycles`) over the current CLog statistics, yielding a cycle
 estimate the cost model converts to seconds per backend.  Accuracy is
 checked in the tests (within a few percent of the metered execution).
+
+It also prices the *partitioned* strategy (`estimate_partitioned`):
+per-partition partial-query proofs plus the merge guest, with the
+end-to-end latency modeled as ``max(partition) + merge`` — which is how
+``choose_strategy`` decides whether splitting a query across the
+proving engine pays for a given entry count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ConfigurationError
 from ..query import parse_query
-from ..query.ast import Query
+from ..query.ast import AggFunc, Aggregate, Query
+from ..query.fields import QUERYABLE_FIELDS, FieldKind
+from ..serialization import encode
 from ..zkvm import cycles as cy
 from ..zkvm.costmodel import CostModel, ProverBackend
 from .clog import CLogState
 from .guest_programs import (
     DECODE_CYCLES_PER_BYTE,
+    MERGE_CYCLES,
     PARSE_CYCLES_PER_BYTE,
     QUERY_NODE_CYCLES,
     QUERY_VIEW_CYCLES,
@@ -33,11 +43,26 @@ from .guest_programs import (
 _KEY_BYTES = 13
 # Encoded entry-frame overhead beyond key+payload ({'key':…,'payload':…}).
 _FRAME_OVERHEAD = 24
+# Encoded size of a Digest (tag + 32 raw bytes).
+_DIGEST_BYTES = 33
+# Per-row structural overhead of a journal group row ([key, [values]]).
+_GROUP_ROW_OVERHEAD = 4
+# Encoded per-term result values: small ints (COUNT), wider ints
+# (SUM/MIN/MAX over int columns), tag + 8-byte doubles.
+_COUNT_VALUE_BYTES = 4
+_INT_VALUE_BYTES = 7
+_FLOAT_VALUE_BYTES = 9
+# Encoded per-term *partial accumulator state* ({"c","t","mn","mx"}):
+# int totals stay ints; float totals are exact [numerator, denominator]
+# fraction pairs, which dominate the row.
+_COUNT_STATE_BYTES = 24
+_INT_STATE_BYTES = 40
+_FLOAT_STATE_BYTES = 65
 
 
 @dataclass(frozen=True)
 class QueryCostEstimate:
-    """Predicted proving cost for one query."""
+    """Predicted proving cost for one query (or one partition of one)."""
 
     sql: str
     entries: int
@@ -48,9 +73,12 @@ class QueryCostEstimate:
                 backend: ProverBackend = ProverBackend.CPU_ZKVM
                 ) -> float:
         model = model or CostModel()
-        padded = sum(
-            1 << _po2(min(cy.SEGMENT_CYCLE_LIMIT, remaining))
-            for remaining in _segment_sizes(self.predicted_cycles))
+        # One segmentation drives both the padded-cycle sum and the
+        # per-segment overhead count — the same `_segment_sizes` walk
+        # that produced `predicted_segments` at estimate time, so the
+        # two can never disagree.
+        segments = _segment_sizes(self.predicted_cycles)
+        padded = sum(1 << _po2(size) for size in segments)
         if backend is ProverBackend.SPECIALIZED_HASH:
             # Rough: compressions ≈ hash cycles / cost-per-block.
             compressions = self.predicted_cycles \
@@ -58,7 +86,7 @@ class QueryCostEstimate:
             return compressions / model.specialized_hashes_per_second \
                 + model.base_overhead
         seconds = padded / model.cpu_cycles_per_second \
-            + self.predicted_segments * model.segment_overhead \
+            + len(segments) * model.segment_overhead \
             + model.base_overhead
         if backend is ProverBackend.GPU_ZKVM:
             seconds /= model.gpu_speedup
@@ -66,6 +94,64 @@ class QueryCostEstimate:
 
     def minutes(self, model: CostModel | None = None) -> float:
         return self.seconds(model) / 60.0
+
+
+@dataclass(frozen=True)
+class PartitionedQueryCostEstimate:
+    """Predicted cost of proving one query as partitions + merge."""
+
+    sql: str
+    entries: int
+    num_partitions: int
+    chunk_po2: int
+    partition_estimates: tuple[QueryCostEstimate, ...]
+    merge_estimate: QueryCostEstimate
+
+    @property
+    def predicted_cycles(self) -> int:
+        return sum(p.predicted_cycles for p in self.partition_estimates) \
+            + self.merge_estimate.predicted_cycles
+
+    def modeled_seconds(self, model: CostModel | None = None,
+                        backend: ProverBackend =
+                        ProverBackend.CPU_ZKVM) -> float:
+        """End-to-end latency with partitions proven concurrently."""
+        model = model or CostModel()
+        slowest = max(p.seconds(model, backend)
+                      for p in self.partition_estimates)
+        return slowest + self.merge_estimate.seconds(model, backend)
+
+    def sequential_seconds(self, model: CostModel | None = None,
+                           backend: ProverBackend =
+                           ProverBackend.CPU_ZKVM) -> float:
+        """The same proofs generated one at a time."""
+        model = model or CostModel()
+        total = sum(p.seconds(model, backend)
+                    for p in self.partition_estimates)
+        return total + self.merge_estimate.seconds(model, backend)
+
+
+def partition_layout(size: int, num_partitions: int) -> tuple[int, int]:
+    """Aligned-chunk geometry for partitioned query proving.
+
+    Picks the smallest power-of-two chunk that covers ``size`` leaves
+    in at most ``num_partitions`` chunks; returns ``(chunk_po2,
+    actual_partitions)``.  Chunks are subtree-aligned so each partition
+    binds to the committed root through a single sibling path, and only
+    the last chunk may be partial.
+    """
+    if size < 1:
+        raise ConfigurationError("cannot partition an empty entry set")
+    if num_partitions < 1:
+        raise ConfigurationError("num_partitions must be >= 1")
+    chunk_po2 = 0
+    while _chunk_count(size, chunk_po2) > num_partitions:
+        chunk_po2 += 1
+    return chunk_po2, _chunk_count(size, chunk_po2)
+
+
+def _chunk_count(size: int, chunk_po2: int) -> int:
+    return (size + (1 << chunk_po2) - 1) >> chunk_po2
 
 
 def _segment_sizes(total: int) -> list[int]:
@@ -89,6 +175,23 @@ def _tagged_hash_cycles(payload_bytes: int) -> int:
     return ((payload_bytes + 9 + 63) // 64) * cy.SHA256_COMPRESS_CYCLES
 
 
+def _tree_depth(size: int) -> int:
+    depth = 0
+    while (1 << depth) < max(size, 1):
+        depth += 1
+    return depth
+
+
+def _subtree_hashes(count: int) -> int:
+    """Internal node hashes to rebuild a tree over ``count`` leaves."""
+    hashes = 0
+    width = count
+    while width > 1:
+        width = (width + 1) // 2
+        hashes += width
+    return hashes
+
+
 class QueryPlanner:
     """Predicts query-guest cycles from CLog statistics."""
 
@@ -96,36 +199,75 @@ class QueryPlanner:
                  agg_journal_bytes: int) -> None:
         self.entries = len(state)
         self.agg_journal_bytes = agg_journal_bytes
+        self._state = state
         payload_sizes = [len(entry.to_payload())
                          for entry in state.entries_in_slot_order()]
         self.avg_payload = (sum(payload_sizes) / len(payload_sizes)
                             if payload_sizes else 0.0)
+        self._views: list[dict] | None = None
+        self._group_profiles: dict[str, tuple[int, float]] = {}
 
     def estimate(self, sql: str) -> QueryCostEstimate:
         query = parse_query(sql)
         return self._estimate(sql, query)
 
+    def estimate_partitioned(self, sql: str, num_partitions: int
+                             ) -> PartitionedQueryCostEstimate:
+        """Price the partitioned strategy at ``num_partitions``."""
+        query = parse_query(sql)
+        chunk_po2, count = partition_layout(max(self.entries, 1),
+                                            num_partitions)
+        chunk = 1 << chunk_po2
+        partition_estimates = []
+        partial_bytes = []
+        for index in range(count):
+            lo = index << chunk_po2
+            hi = min(self.entries, lo + chunk)
+            journal_bytes = self._partial_journal_bytes(
+                sql, query, lo, hi)
+            partial_bytes.append(journal_bytes)
+            partition_estimates.append(self._estimate_partition(
+                sql, query, hi - lo, chunk_po2, journal_bytes))
+        merge_estimate = self._estimate_merge(sql, query, partial_bytes,
+                                              lo_hi_pairs=[
+                                                  (i << chunk_po2,
+                                                   min(self.entries,
+                                                       (i + 1) << chunk_po2))
+                                                  for i in range(count)])
+        return PartitionedQueryCostEstimate(
+            sql=sql,
+            entries=self.entries,
+            num_partitions=count,
+            chunk_po2=chunk_po2,
+            partition_estimates=tuple(partition_estimates),
+            merge_estimate=merge_estimate,
+        )
+
+    def choose_strategy(self, sql: str, num_partitions: int | None,
+                        model: CostModel | None = None) -> str:
+        """``"partitioned"`` when splitting at ``num_partitions`` is
+        modeled faster end-to-end than the full scan, else
+        ``"full-scan"``.  Per-proof base overhead means partitioning
+        only pays once the scan dominates — small states full-scan.
+        """
+        if num_partitions is None or num_partitions < 2 \
+                or self.entries < 2:
+            return "full-scan"
+        model = model or CostModel()
+        serial = self.estimate(sql).seconds(model)
+        partitioned = self.estimate_partitioned(
+            sql, num_partitions).modeled_seconds(model)
+        return "partitioned" if partitioned < serial else "full-scan"
+
+    # -- per-strategy estimates ---------------------------------------------
+
     def _estimate(self, sql: str, query: Query) -> QueryCostEstimate:
         n = self.entries
         cycles = cy.EXECUTION_BASE_CYCLES
-
-        # Binding verification: hash + decode the aggregation journal,
-        # recompute the claim digest, record the assumption.
-        cycles += _tagged_hash_cycles(self.agg_journal_bytes)
-        cycles += self.agg_journal_bytes * DECODE_CYCLES_PER_BYTE
-        cycles += 3 * _tagged_hash_cycles(96)  # claim + assumptions
-        cycles += cy.ASSUMPTION_CYCLES
-        cycles += cy.io_cycles(self.agg_journal_bytes + 200)
+        cycles += self._binding_cycles()
 
         # Per-entry work: frame I/O, leaf hash, payload decode, view.
-        frame_bytes = _KEY_BYTES + self.avg_payload + _FRAME_OVERHEAD
-        per_entry = (
-            cy.io_cycles(int(frame_bytes))
-            + _tagged_hash_cycles(int(_KEY_BYTES + self.avg_payload))
-            + int(self.avg_payload) * DECODE_CYCLES_PER_BYTE
-            + QUERY_VIEW_CYCLES
-        )
-        cycles += n * per_entry
+        cycles += n * self._per_entry_cycles()
 
         # Tree reconstruction: n-1 node hashes (64-byte inputs) padded
         # to the power-of-two tree shape; approximate with n nodes.
@@ -135,8 +277,11 @@ class QueryPlanner:
         cycles += len(sql) * PARSE_CYCLES_PER_BYTE
         cycles += n * query.node_count * QUERY_NODE_CYCLES
 
-        # Journal commit (result output) — small, bounded by groups.
-        result_bytes = 200 + 40 * len(query.labels)
+        # Journal commit: fixed header/labels plus — the part that
+        # grows with group cardinality — one encoded row per distinct
+        # group key.
+        result_bytes = 200 + 40 * len(query.labels) \
+            + self._group_rows_bytes(query, 0, n)
         cycles += cy.io_cycles(result_bytes) \
             + _tagged_hash_cycles(result_bytes)
 
@@ -145,8 +290,161 @@ class QueryPlanner:
             sql=sql,
             entries=n,
             predicted_cycles=total,
-            predicted_segments=cy.segment_count(total),
+            predicted_segments=len(_segment_sizes(total)),
         )
+
+    def _estimate_partition(self, sql: str, query: Query, count: int,
+                            chunk_po2: int,
+                            journal_bytes: int) -> QueryCostEstimate:
+        """Mirror `query_partition_guest` for one ``count``-entry chunk."""
+        depth = _tree_depth(self.entries)
+        path_len = depth - chunk_po2
+        cycles = cy.EXECUTION_BASE_CYCLES
+        # Partition header frame (query + geometry + sibling path).
+        cycles += cy.io_cycles(90 + len(sql)
+                               + _DIGEST_BYTES * path_len)
+        cycles += self._binding_cycles()
+        cycles += count * self._per_entry_cycles()
+        # Subtree rebuild, fold-up to chunk height, then sibling path.
+        sub_depth = _tree_depth(max(count, 1))
+        node_hashes = _subtree_hashes(count) \
+            + (chunk_po2 - sub_depth) + path_len
+        cycles += node_hashes * _tagged_hash_cycles(64)
+        cycles += len(sql) * PARSE_CYCLES_PER_BYTE
+        cycles += count * query.node_count * QUERY_NODE_CYCLES
+        cycles += cy.io_cycles(journal_bytes) \
+            + _tagged_hash_cycles(journal_bytes)
+        total = int(cycles)
+        return QueryCostEstimate(
+            sql=sql,
+            entries=count,
+            predicted_cycles=total,
+            predicted_segments=len(_segment_sizes(total)),
+        )
+
+    def _estimate_merge(self, sql: str, query: Query,
+                        partial_bytes: list[int],
+                        lo_hi_pairs: list[tuple[int, int]]
+                        ) -> QueryCostEstimate:
+        """Mirror `query_merge_guest` over the partition journals."""
+        cycles = cy.EXECUTION_BASE_CYCLES
+        cycles += cy.io_cycles(40 + len(sql))  # merge header frame
+        terms = len(query.aggregates)
+        for journal_bytes, (lo, hi) in zip(partial_bytes, lo_hi_pairs):
+            # Binding frame I/O + journal hash/decode + claim recompute
+            # + the recorded assumption.
+            cycles += cy.io_cycles(journal_bytes + 160)
+            cycles += _tagged_hash_cycles(journal_bytes)
+            cycles += journal_bytes * DECODE_CYCLES_PER_BYTE
+            cycles += 3 * _tagged_hash_cycles(96)
+            cycles += cy.ASSUMPTION_CYCLES
+            rows = self._group_cardinality(query, lo, hi) \
+                if query.group_by is not None else 1
+            cycles += rows * terms * MERGE_CYCLES
+        cycles += len(sql) * PARSE_CYCLES_PER_BYTE
+        result_bytes = 200 + 40 * len(query.labels) \
+            + self._group_rows_bytes(query, 0, self.entries)
+        cycles += cy.io_cycles(result_bytes) \
+            + _tagged_hash_cycles(result_bytes)
+        total = int(cycles)
+        return QueryCostEstimate(
+            sql=sql,
+            entries=self.entries,
+            predicted_cycles=total,
+            predicted_segments=len(_segment_sizes(total)),
+        )
+
+    # -- shared terms --------------------------------------------------------
+
+    def _binding_cycles(self) -> int:
+        """Verify the aggregation binding: hash + decode the journal,
+        recompute the claim digest, record the assumption."""
+        return (_tagged_hash_cycles(self.agg_journal_bytes)
+                + self.agg_journal_bytes * DECODE_CYCLES_PER_BYTE
+                + 3 * _tagged_hash_cycles(96)  # claim + assumptions
+                + cy.ASSUMPTION_CYCLES
+                + cy.io_cycles(self.agg_journal_bytes + 200))
+
+    def _per_entry_cycles(self) -> int:
+        frame_bytes = _KEY_BYTES + self.avg_payload + _FRAME_OVERHEAD
+        return (cy.io_cycles(int(frame_bytes))
+                + _tagged_hash_cycles(int(_KEY_BYTES + self.avg_payload))
+                + int(self.avg_payload) * DECODE_CYCLES_PER_BYTE
+                + QUERY_VIEW_CYCLES)
+
+    # -- group statistics ----------------------------------------------------
+
+    def _slot_views(self) -> list[dict]:
+        if self._views is None:
+            self._views = self._state.entry_views()
+        return self._views
+
+    def _group_profile(self, field: str, lo: int,
+                       hi: int) -> tuple[int, float]:
+        """(distinct keys, average encoded key bytes) over a slot range."""
+        cache_key = f"{field}:{lo}:{hi}"
+        cached = self._group_profiles.get(cache_key)
+        if cached is None:
+            keys = {view[field] for view in self._slot_views()[lo:hi]}
+            if keys:
+                avg = sum(len(encode(key)) for key in keys) / len(keys)
+            else:
+                avg = 0.0
+            cached = (len(keys), avg)
+            self._group_profiles[cache_key] = cached
+        return cached
+
+    def _group_cardinality(self, query: Query, lo: int, hi: int) -> int:
+        if query.group_by is None:
+            return 0
+        cardinality, _ = self._group_profile(query.group_by.name, lo, hi)
+        return cardinality
+
+    def _group_rows_bytes(self, query: Query, lo: int, hi: int) -> int:
+        """Encoded bytes of the final journal's group rows."""
+        if query.group_by is None:
+            return 0
+        cardinality, key_bytes = self._group_profile(
+            query.group_by.name, lo, hi)
+        per_row = _GROUP_ROW_OVERHEAD + key_bytes \
+            + sum(_value_bytes(a) for a in query.aggregates)
+        return int(cardinality * per_row)
+
+    def _partial_journal_bytes(self, sql: str, query: Query, lo: int,
+                               hi: int) -> int:
+        """Encoded bytes of one partition's partial-state journal."""
+        base = 160 + len(sql) + _DIGEST_BYTES
+        if query.group_by is None:
+            return base + sum(_state_bytes(a) for a in query.aggregates)
+        cardinality, key_bytes = self._group_profile(
+            query.group_by.name, lo, hi)
+        per_row = _GROUP_ROW_OVERHEAD + key_bytes \
+            + sum(_state_bytes(a) for a in query.aggregates)
+        return int(base + cardinality * per_row)
+
+
+def _term_kind(aggregate: Aggregate) -> FieldKind | None:
+    if aggregate.field is None:
+        return None
+    return QUERYABLE_FIELDS[aggregate.field.name]
+
+
+def _value_bytes(aggregate: Aggregate) -> int:
+    if aggregate.func is AggFunc.COUNT:
+        return _COUNT_VALUE_BYTES
+    if aggregate.func is AggFunc.AVG:
+        return _FLOAT_VALUE_BYTES
+    if _term_kind(aggregate) is FieldKind.FLOAT:
+        return _FLOAT_VALUE_BYTES
+    return _INT_VALUE_BYTES
+
+
+def _state_bytes(aggregate: Aggregate) -> int:
+    if aggregate.func is AggFunc.COUNT:
+        return _COUNT_STATE_BYTES
+    if _term_kind(aggregate) is FieldKind.FLOAT:
+        return _FLOAT_STATE_BYTES
+    return _INT_STATE_BYTES
 
 
 def estimate_query_cost(service, sql: str) -> QueryCostEstimate:

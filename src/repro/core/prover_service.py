@@ -35,7 +35,7 @@ from .aggregation import (
 from .chain import AggregationChain, ChainLink
 from .clog import CLogEntry, CLogState
 from .policy import DEFAULT_POLICY, AggregationPolicy
-from .query_proof import QueryProver, QueryResponse
+from .query_proof import QueryProver, QueryResponse, env_query_partitions
 
 logger = logging.getLogger(__name__)
 
@@ -58,9 +58,12 @@ class ProverService:
                  checkpoint_name: str = DEFAULT_CHECKPOINT,
                  query_cache_size: int = 256,
                  pool_backend: str | None = None,
-                 prove_workers: int | None = None) -> None:
+                 prove_workers: int | None = None,
+                 query_partitions: int | None = None) -> None:
         if query_cache_size < 1:
             raise ConfigurationError("query_cache_size must be >= 1")
+        if query_partitions is not None and query_partitions < 1:
+            raise ConfigurationError("query_partitions must be >= 1")
         self.store = store
         self.bulletin = bulletin
         self.policy = policy
@@ -73,9 +76,15 @@ class ProverService:
         # service must prove exactly like the seed (the obs contract
         # pins its telemetry namespace).
         self.engine = self._build_engine(prover_opts, pool_backend,
-                                         prove_workers)
+                                         prove_workers, query_partitions)
         prover = self.engine.prover(prover_opts) \
             if self.engine is not None else None
+        # REPRO_QUERY_PARTITIONS only tunes a service that *already*
+        # opted into an engine — the env var alone must not change how
+        # a default service proves.
+        if query_partitions is None and self.engine is not None:
+            query_partitions = env_query_partitions()
+        self.query_partitions = query_partitions
         if strategy == "update":
             self._aggregator = Aggregator(policy, prover_opts,
                                           prover=prover)
@@ -91,25 +100,34 @@ class ProverService:
         self.auto_checkpoint = auto_checkpoint
         self.checkpoint_name = checkpoint_name
         self.query_cache_size = query_cache_size
-        self._query_prover = QueryProver(prover_opts, prover=prover)
+        self._query_prover = QueryProver(
+            prover_opts, prover=prover, engine=self.engine,
+            num_partitions=self.query_partitions)
         self._aggregated_windows: set[int] = set()
-        self._query_cache: OrderedDict[tuple[str, int], QueryResponse] = \
-            OrderedDict()
+        self._query_cache: OrderedDict[tuple[str, int, Digest],
+                                       QueryResponse] = OrderedDict()
         self.last_prove_info: ProveInfo | None = None
 
     def _build_engine(self, prover_opts: ProverOpts | None,
                       pool_backend: str | None,
-                      prove_workers: int | None):
+                      prove_workers: int | None,
+                      query_partitions: int | None = None):
         backend = pool_backend
         if backend is None and prover_opts is not None:
             backend = prover_opts.pool_backend
         workers = prove_workers
         if workers is None and prover_opts is not None:
             workers = prover_opts.prove_workers
-        if backend is None and workers is None:
+        if backend is None and workers is None \
+                and query_partitions is None:
             return None
         if workers is not None and workers < 1:
             raise ConfigurationError("prove_workers must be >= 1")
+        if backend is None and workers is None:
+            # --query-partitions alone: partitioned queries want
+            # concurrency but nobody sized a worker pool, so stay
+            # in-process with threads rather than forking.
+            backend = "thread"
         from ..engine import ProvingEngine
         # The receipt cache's persistent tier rides the store's
         # checkpoint KV, so identical proofs replay across restarts.
@@ -141,6 +159,7 @@ class ProverService:
             "cached_queries": len(self._query_cache),
             "query_cache_max": self.query_cache_size,
             "auto_checkpoint": self.auto_checkpoint,
+            "query_partitions": self.query_partitions,
             "latest_root": (self.chain.latest.new_root.hex()
                             if len(self.chain) else None),
             "engine": (self.engine.snapshot()
@@ -268,9 +287,13 @@ class ProverService:
         root — a client auditing round ``n`` verifies the response
         against round ``n``'s receipt in the chain.
 
-        Proving is deterministic, so identical (sql, round) pairs yield
-        bit-identical receipts — the service caches and replays them
-        unless ``use_cache=False``.
+        Proving is deterministic, so identical (sql, round, root)
+        triples yield bit-identical receipts — the service caches and
+        replays them unless ``use_cache=False``.  The committed root is
+        part of the key because a round *index* alone is not stable
+        identity: after a restore or re-aggregation the same index can
+        commit a different root, and a cache keyed on (sql, round)
+        would replay a response whose receipt binds the stale state.
         """
         # ChainError (a ProofError) rather than the bare IndexError a
         # naive chain access would give: callers and the wire error
@@ -287,7 +310,8 @@ class ProverService:
                 f"{len(self.chain)} round(s)")
         effective_round = round_index if round_index is not None \
             else (len(self.chain) - 1)
-        cache_key = (sql, effective_round)
+        committed_root = self.chain[effective_round].new_root
+        cache_key = (sql, effective_round, committed_root)
         if use_cache:
             cached = self._query_cache.get(cache_key)
             if cached is not None:

@@ -22,7 +22,11 @@ from ..errors import ChainError, VerificationError
 from ..hashing import Digest
 from ..merkle.tree import EMPTY_ROOTS
 from ..zkvm import Receipt, Verifier
-from .guest_programs import aggregation_guest, query_guest
+from .guest_programs import (
+    aggregation_guest,
+    query_guest,
+    query_merge_guest,
+)
 from .query_proof import QueryResponse
 
 
@@ -68,6 +72,14 @@ class VerifierClient:
             rebuild_aggregation_guest.image_id,
         )
         self.aggregation_image_id = aggregation_guest.image_id
+        # A query answer arrives either as one full-scan receipt or as
+        # a partitioned merge receipt; both commit the same journal
+        # layout, and the merge guest pins the partition image id
+        # internally, so the client only needs the outer image.
+        self.query_image_ids = (
+            query_guest.image_id,
+            query_merge_guest.image_id,
+        )
         self.query_image_id = query_guest.image_id
 
     # -- aggregation receipts ------------------------------------------------
@@ -158,9 +170,17 @@ class VerifierClient:
         Checks both properties §4.2 promises: the computation was
         correct (receipt verifies against the public query image) and it
         ran over the committed data (journal root equals the verified
-        aggregation root).
+        aggregation root).  Accepts both proving strategies — a
+        full-scan receipt and a partitioned merge receipt carry
+        identical journals and differ only in which trusted query
+        image produced them.
         """
-        self._verifier.verify(response.receipt, self.query_image_id)
+        image_id = response.receipt.claim.image_id
+        if image_id not in self.query_image_ids:
+            raise VerificationError(
+                f"receipt image {image_id.short()}... is not a trusted "
+                "query program")
+        self._verifier.verify(response.receipt, image_id)
         journal = response.receipt.journal.decode_one()
         if not isinstance(journal, dict):
             raise VerificationError("query journal is not a dict")

@@ -163,6 +163,35 @@ class ProvingEngine:
                     outcome.result.modeled_seconds(model))
         return outcomes
 
+    def submit_fanout(self, jobs: list[ProofJob],
+                      build_merge: Any) -> "_RoundSchedule":
+        """Submit sibling jobs whose merge folds their results.
+
+        The generic form of the partition-and-merge schedule: every job
+        in ``jobs`` enters the work queue immediately, and
+        ``build_merge(results)`` — called from a completion callback
+        the moment the last sibling finishes — returns the merge
+        :class:`ProofJob`, which is submitted without a barrier.  The
+        caller drives collection through the returned schedule:
+        ``partition_futures`` (one per job, in order), ``merge_ready``
+        (set once the merge is submitted, or once a sibling failure
+        poisons the fan-out), and ``merge_future`` (``None`` iff
+        poisoned).  Partitioned query proving routes through here so
+        query jobs share the pool, cache, and fault sites with
+        aggregation rounds.
+        """
+        if not jobs:
+            raise ConfigurationError("fan-out needs at least one job")
+
+        def submit(schedule: "_RoundSchedule",
+                   results: list[JobResult]) -> None:
+            schedule.merge_future = self.pool.submit(build_merge(results))
+            schedule.merge_ready.set()
+
+        schedule = _RoundSchedule(0, [[job] for job in jobs])
+        schedule.arm([self.pool.submit(job) for job in jobs], submit)
+        return schedule
+
     # -- internals -----------------------------------------------------------
 
     def _submit_merge(self, schedule: "_RoundSchedule",

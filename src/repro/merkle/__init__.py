@@ -16,7 +16,12 @@ inclusion proofs.  Three building blocks live here:
 from .consistency import ConsistencyProof, verify_consistency
 from .hasher import MerkleHasher, TaggedMerkleHasher, default_hasher
 from .maptree import MerkleMap
-from .proof import InclusionProof, MultiProof, verify_inclusion
+from .proof import (
+    InclusionProof,
+    MultiProof,
+    SubtreeProof,
+    verify_inclusion,
+)
 from .tree import EMPTY_ROOTS, MerkleTree
 
 __all__ = [
@@ -27,6 +32,7 @@ __all__ = [
     "MerkleMap",
     "MerkleTree",
     "MultiProof",
+    "SubtreeProof",
     "TaggedMerkleHasher",
     "default_hasher",
     "verify_consistency",

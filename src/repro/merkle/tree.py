@@ -17,7 +17,7 @@ from typing import Iterable, Sequence
 from ..errors import MerkleError
 from ..hashing import Digest
 from .hasher import MerkleHasher, default_hasher
-from .proof import InclusionProof, MultiProof
+from .proof import InclusionProof, MultiProof, SubtreeProof
 
 _MAX_DEPTH = 48
 
@@ -193,6 +193,37 @@ class MerkleTree:
             raise MerkleError(
                 f"subtree ({level}, {pos}) is not fully occupied")
         return self._levels[level][pos]
+
+    def prove_subtree(self, level: int, pos: int) -> SubtreeProof:
+        """Prove the node at ``(level, pos)`` against the root.
+
+        The node covers the aligned leaf block
+        ``[pos << level, (pos + 1) << level)``.  Unlike :meth:`node_at`
+        the block need not be fully occupied — only non-empty — because
+        siblings follow the same right-padding rule as leaf proofs: a
+        verifier that rebuilds the block's node from its occupied
+        leaves (padding with empty-subtree roots) folds it to exactly
+        this tree's root.  Partitioned query proving uses one such
+        proof per slot-range partition.
+        """
+        if not 0 <= level <= self.depth:
+            raise MerkleError(f"level {level} out of range")
+        if not 0 <= pos < len(self._levels[level]):
+            raise MerkleError(
+                f"subtree ({level}, {pos}) holds no occupied leaves")
+        siblings: list[Digest] = []
+        node_pos = pos
+        for height in range(level, self.depth):
+            nodes = self._levels[height]
+            sibling_pos = node_pos ^ 1
+            if sibling_pos < len(nodes):
+                siblings.append(nodes[sibling_pos])
+            else:
+                siblings.append(self._empty[height])
+            node_pos >>= 1
+        return SubtreeProof(level=level, index=pos,
+                            siblings=tuple(siblings),
+                            tree_size=len(self._leaves))
 
     def prove_consistency(self, old_size: int):
         """Prove this tree extends its own earlier ``old_size``-leaf

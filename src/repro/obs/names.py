@@ -20,6 +20,9 @@ SPAN_PARALLEL_ROUND = "agg.parallel.round"
 SPAN_PARALLEL_PARTITION = "agg.parallel.partition"
 SPAN_PARALLEL_MERGE = "agg.parallel.merge"
 SPAN_QUERY_PROVE = "query.prove"
+SPAN_QUERY_PARALLEL_ROUND = "query.parallel.round"
+SPAN_QUERY_PARALLEL_PARTITION = "query.parallel.partition"
+SPAN_QUERY_PARALLEL_MERGE = "query.parallel.merge"
 SPAN_NET_SERVER_REQUEST = "net.server.request"
 SPAN_NET_CLIENT_REQUEST = "net.client.request"
 SPAN_ENGINE_JOB = "engine.job"
@@ -34,6 +37,9 @@ SPAN_NAMES = frozenset({
     SPAN_PARALLEL_PARTITION,
     SPAN_PARALLEL_MERGE,
     SPAN_QUERY_PROVE,
+    SPAN_QUERY_PARALLEL_ROUND,
+    SPAN_QUERY_PARALLEL_PARTITION,
+    SPAN_QUERY_PARALLEL_MERGE,
     SPAN_NET_SERVER_REQUEST,
     SPAN_NET_CLIENT_REQUEST,
     SPAN_ENGINE_JOB,
@@ -82,6 +88,7 @@ ENGINE_ROUND_MODELED_SECONDS = "repro_engine_round_modeled_seconds"
 # query proving
 QUERY_PROOFS = "repro_query_proofs_total"
 QUERY_SECONDS = "repro_query_prove_seconds"
+QUERY_PARTITIONS = "repro_query_partitions_total"
 
 # wire protocol, server side
 NET_SERVER_REQUESTS = "repro_net_server_requests_total"
@@ -132,6 +139,7 @@ METRIC_LABELS: dict[str, tuple[str, ...]] = {
     ENGINE_ROUND_MODELED_SECONDS: (),
     QUERY_PROOFS: (),
     QUERY_SECONDS: (),
+    QUERY_PARTITIONS: (),
     NET_SERVER_REQUESTS: ("kind", "status"),
     NET_SERVER_SECONDS: ("kind",),
     NET_SERVER_BYTES: ("direction",),

@@ -25,7 +25,13 @@ from .ast import (
     PrefixMatch,
     Query,
 )
-from .evaluator import QueryResult, evaluate
+from .evaluator import (
+    PartialQueryResult,
+    QueryResult,
+    evaluate,
+    evaluate_partial,
+    merge_partials,
+)
 from .fields import QUERYABLE_FIELDS
 from .parser import parse_query
 
@@ -37,10 +43,13 @@ __all__ = [
     "FieldRef",
     "Literal",
     "LogicalOp",
+    "PartialQueryResult",
     "PrefixMatch",
     "QUERYABLE_FIELDS",
     "Query",
     "QueryResult",
     "evaluate",
+    "evaluate_partial",
+    "merge_partials",
     "parse_query",
 ]

@@ -8,8 +8,10 @@ of AST nodes evaluated per entry, which the guest maps to cycle charges.
 from __future__ import annotations
 
 import ipaddress
+import math
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping
+from fractions import Fraction
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..errors import QueryError
 from .ast import (
@@ -129,14 +131,23 @@ def evaluate_predicate(predicate: Predicate | None,
 
 
 class _Accumulator:
-    """Streaming accumulator for one aggregate term."""
+    """Streaming accumulator for one aggregate term.
+
+    Float sums are accumulated as exact rationals (every finite float is
+    a dyadic ``Fraction``), so the running total is independent of the
+    order — and, crucially, of the *grouping* — of the additions.  That
+    is what lets a partitioned query prove per-partition partial states
+    and fold them in a merge guest while staying bit-identical to the
+    single-pass result: ``result()`` rounds the exact total to a float
+    exactly once, at the end.
+    """
 
     __slots__ = ("aggregate", "count", "total", "minimum", "maximum")
 
     def __init__(self, aggregate: Aggregate) -> None:
         self.aggregate = aggregate
         self.count = 0
-        self.total: int | float = 0
+        self.total: int | float | Fraction = 0
         self.minimum: int | float | None = None
         self.maximum: int | float | None = None
 
@@ -149,11 +160,50 @@ class _Accumulator:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise QueryError(
                 f"cannot aggregate non-numeric column {field.name!r}")
-        self.total += value
+        if isinstance(value, float) and math.isfinite(value):
+            self.total += Fraction(value)
+        else:
+            self.total += value
         if self.minimum is None or value < self.minimum:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+
+    def state(self) -> dict[str, Any]:
+        """The mergeable partial state, in canonical wire-safe form."""
+        total: Any = self.total
+        if isinstance(total, Fraction):
+            total = [total.numerator, total.denominator]
+        return {"c": self.count, "t": total,
+                "mn": self.minimum, "mx": self.maximum}
+
+    def absorb(self, state: Mapping[str, Any]) -> None:
+        """Fold another accumulator's ``state()`` into this one."""
+        try:
+            count = state["c"]
+            total = state["t"]
+            minimum = state["mn"]
+            maximum = state["mx"]
+        except (KeyError, TypeError) as exc:
+            raise QueryError("malformed partial aggregate state") from exc
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise QueryError("malformed partial aggregate count")
+        if isinstance(total, (list, tuple)):
+            if len(total) != 2 or not all(
+                    isinstance(part, int) and not isinstance(part, bool)
+                    for part in total):
+                raise QueryError("malformed partial aggregate total")
+            total = Fraction(total[0], total[1])
+        elif not isinstance(total, (int, float)) or isinstance(total, bool):
+            raise QueryError("malformed partial aggregate total")
+        self.count += count
+        self.total += total
+        if minimum is not None and (self.minimum is None
+                                    or minimum < self.minimum):
+            self.minimum = minimum
+        if maximum is not None and (self.maximum is None
+                                    or maximum > self.maximum):
+            self.maximum = maximum
 
     def result(self) -> int | float | None:
         func = self.aggregate.func
@@ -162,9 +212,14 @@ class _Accumulator:
         if self.count == 0:
             return None
         if func is AggFunc.SUM:
+            if isinstance(self.total, Fraction):
+                return float(self.total)
             return self.total
         if func is AggFunc.AVG:
-            return self.total / self.count
+            value = self.total / self.count
+            if isinstance(value, Fraction):
+                return float(value)
+            return value
         if func is AggFunc.MIN:
             return self.minimum
         if func is AggFunc.MAX:
@@ -227,5 +282,161 @@ def evaluate(query: Query, entries: Iterable[EntryView],
         matched=matched,
         scanned=scanned,
         group_by=group_field,
+        groups=groups,
+    )
+
+
+def _sort_key(key: Any) -> tuple[str, Any]:
+    return (str(type(key)), key)
+
+
+@dataclass(frozen=True)
+class PartialQueryResult:
+    """Mergeable partial aggregates for one slice of the entry set.
+
+    ``states`` holds one accumulator state per select-list term for an
+    ungrouped query; grouped queries use ``group_states`` rows of
+    ``(group_key, per-term states)`` sorted by key.  The wire form is
+    what the partition guest commits and the merge guest folds.
+    """
+
+    matched: int
+    scanned: int
+    group_by: str | None
+    states: tuple[dict[str, Any], ...]
+    group_states: tuple[tuple[Any, tuple[dict[str, Any], ...]], ...] = ()
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "matched": self.matched,
+            "scanned": self.scanned,
+            "states": [dict(s) for s in self.states],
+            "groups": [[key, [dict(s) for s in states]]
+                       for key, states in self.group_states],
+        }
+
+
+def evaluate_partial(
+        query: Query, entries: Iterable[EntryView],
+        cost_hook: Callable[[int], None] | None = None,
+) -> PartialQueryResult:
+    """Run ``query`` over a slice of the entry set, stopping short of
+    finalization: the result carries raw accumulator states that
+    ``merge_partials`` folds across slices.  Metering via ``cost_hook``
+    is identical to :func:`evaluate`.
+    """
+    per_entry_nodes = query.node_count
+    matched = 0
+    scanned = 0
+    if query.group_by is None:
+        accumulators = [_Accumulator(a) for a in query.aggregates]
+        for entry in entries:
+            scanned += 1
+            if cost_hook is not None:
+                cost_hook(per_entry_nodes)
+            if not evaluate_predicate(query.where, entry):
+                continue
+            matched += 1
+            for accumulator in accumulators:
+                accumulator.feed(entry)
+        return PartialQueryResult(
+            matched=matched,
+            scanned=scanned,
+            group_by=None,
+            states=tuple(a.state() for a in accumulators),
+        )
+    group_field = query.group_by.name
+    buckets: dict[Any, list[_Accumulator]] = {}
+    for entry in entries:
+        scanned += 1
+        if cost_hook is not None:
+            cost_hook(per_entry_nodes)
+        if not evaluate_predicate(query.where, entry):
+            continue
+        matched += 1
+        key = _field_value(entry, group_field)
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = [_Accumulator(a) for a in query.aggregates]
+            buckets[key] = bucket
+        for accumulator in bucket:
+            accumulator.feed(entry)
+    return PartialQueryResult(
+        matched=matched,
+        scanned=scanned,
+        group_by=group_field,
+        states=(),
+        group_states=tuple(
+            (key, tuple(a.state() for a in buckets[key]))
+            for key in sorted(buckets, key=_sort_key)
+        ),
+    )
+
+
+def merge_partials(
+        query: Query, partials: Sequence[Mapping[str, Any]],
+        cost_hook: Callable[[int], None] | None = None,
+) -> QueryResult:
+    """Fold partial wire forms (``PartialQueryResult.to_wire()``) into
+    the final :class:`QueryResult`.
+
+    Because accumulation is exact (see :class:`_Accumulator`), the fold
+    is associative and the merged result is bit-identical to running
+    :func:`evaluate` over the concatenated slices.  ``cost_hook(n)`` is
+    invoked once per absorbed accumulator state so the merge guest can
+    charge compute cycles.
+    """
+    num_terms = len(query.aggregates)
+    matched = 0
+    scanned = 0
+    if query.group_by is None:
+        accumulators = [_Accumulator(a) for a in query.aggregates]
+        for partial in partials:
+            matched += partial["matched"]
+            scanned += partial["scanned"]
+            states = partial["states"]
+            if len(states) != num_terms or partial["groups"]:
+                raise QueryError(
+                    "partial state shape does not match the query")
+            if cost_hook is not None:
+                cost_hook(num_terms)
+            for accumulator, state in zip(accumulators, states):
+                accumulator.absorb(state)
+        return QueryResult(
+            labels=query.labels,
+            values=tuple(a.result() for a in accumulators),
+            matched=matched,
+            scanned=scanned,
+        )
+    buckets: dict[Any, list[_Accumulator]] = {}
+    for partial in partials:
+        matched += partial["matched"]
+        scanned += partial["scanned"]
+        if partial["states"]:
+            raise QueryError(
+                "partial state shape does not match the query")
+        for row in partial["groups"]:
+            key, states = row
+            if len(states) != num_terms:
+                raise QueryError(
+                    "partial group shape does not match the query")
+            bucket = buckets.get(key)
+            if bucket is None:
+                bucket = [_Accumulator(a) for a in query.aggregates]
+                buckets[key] = bucket
+            if cost_hook is not None:
+                cost_hook(num_terms)
+            for accumulator, state in zip(bucket, states):
+                accumulator.absorb(state)
+    groups = tuple(
+        (key, tuple(a.result() for a in buckets[key]))
+        for key in sorted(buckets, key=_sort_key)
+    )
+    return QueryResult(
+        labels=query.labels,
+        values=(),
+        matched=matched,
+        scanned=scanned,
+        group_by=query.group_by.name,
         groups=groups,
     )

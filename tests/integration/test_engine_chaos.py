@@ -22,7 +22,7 @@ from repro.faults import FaultInjector, FaultPlan, inject_faults
 from repro.netflow.clock import SimClock
 from repro.storage import MemoryLogStore
 
-from ..conftest import make_record
+from ..conftest import make_committed_records, make_record
 
 SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
 
@@ -149,5 +149,50 @@ class TestEngineWorkerFaults:
             result = service.aggregate_window(0)
             assert result.record_count == 4
             assert 0 in service.aggregated_windows
+        finally:
+            service.close()
+
+
+class TestQueryPartitionFaults:
+    """A transient worker fault under a *query* partition job.
+
+    Partitioned queries ride the same pool, cache, and fault sites as
+    aggregation rounds, so the recovery story must match: the faulted
+    attempt fails loudly with the domain error, and the retry
+    completes the round — replaying the already-proven partitions from
+    the content-addressed cache and re-proving only the one that died.
+    """
+
+    def test_transient_partition_fault_then_retry_completes(self):
+        from repro.errors import ProofError
+        sql = "SELECT COUNT(*), SUM(octets) FROM clogs"
+        store, bulletin, _ = make_committed_records(200, seed=5)
+        reference_store, reference_bulletin, _ = \
+            make_committed_records(200, seed=5)
+        reference = ProverService(reference_store, reference_bulletin)
+        reference.aggregate_window(0)
+        expected = reference.answer_query(sql)
+
+        service = ProverService(store, bulletin, pool_backend="thread",
+                                prove_workers=2, query_partitions=4)
+        try:
+            service.aggregate_window(0)
+            injector = FaultInjector(FaultPlan.parse(
+                "engine.worker:proof:count=1", seed=SEED))
+            inject_faults(service, injector)
+            with pytest.raises(ProofError):
+                service.answer_query(sql)
+            # The failed attempt must not have poisoned the cache.
+            response = service.answer_query(sql)
+            assert response.receipt.journal.data == \
+                expected.receipt.journal.data
+            info = service.last_prove_info
+            assert info.num_partitions > 1
+            # Partitions proven before the fault replay from the cache
+            # on the retry; only the faulted job is proven fresh.
+            assert any(r.cached for r in info.partition_infos)
+            snap = service.status()["engine"]
+            assert snap["in_flight"] == 0
+            assert snap["jobs_failed"] == 1
         finally:
             service.close()

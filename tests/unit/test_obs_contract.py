@@ -190,6 +190,51 @@ class TestParallelContract:
                 "repro_parallel_partitions_total").value() == 2
 
 
+QUERY_PARALLEL_SPANS = {
+    "query.parallel.round",
+    "query.parallel.partition",
+    "query.parallel.merge",
+}
+
+
+class TestQueryParallelContract:
+    """Partitioned query telemetry, pinned like the aggregation set.
+
+    These names appear only on the opt-in partitioned path — a default
+    service's query flow emits exactly the sequential contract above.
+    """
+
+    def test_partitioned_query_spans_and_metrics(self):
+        store, bulletin, _ = make_committed_records(200, seed=11)
+        service = ProverService(store, bulletin, pool_backend="thread",
+                                prove_workers=2, query_partitions=4)
+        try:
+            service.aggregate_all_committed()
+            with obs.capture() as cap:
+                service.answer_query("SELECT COUNT(*) FROM clogs")
+                assert QUERY_PARALLEL_SPANS <= set(cap.exporter.names())
+                partitions = cap.exporter.by_name(
+                    "query.parallel.partition")
+                count = service.last_prove_info.num_partitions
+                assert len(partitions) == count
+                assert all("cycles" in s.attributes
+                           for s in partitions)
+                assert cap.registry.get(
+                    "repro_query_partitions_total").value() == count
+                assert cap.registry.get(
+                    "repro_query_proofs_total").value() == 1
+                (outer,) = cap.exporter.by_name("query.prove")
+                assert outer.attributes["partitions"] == count
+                (round_span,) = cap.exporter.by_name(
+                    "query.parallel.round")
+                assert round_span.parent == "query.prove"
+                (merge_span,) = cap.exporter.by_name(
+                    "query.parallel.merge")
+                assert merge_span.parent == "query.parallel.round"
+        finally:
+            service.close()
+
+
 class TestWireContract:
     def test_wire_round_trip_emits_exact_names(self, service_round):
         from repro.net import ProverServer, QueryClient

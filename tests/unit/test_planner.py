@@ -16,6 +16,11 @@ QUERIES = [
     "SELECT COUNT(*), AVG(rtt_avg_us), MAX(packets) FROM clogs "
     "WHERE (packets > 100 OR lost_packets > 0) AND hop_count >= 2",
     "SELECT SUM(octets) FROM clogs GROUP BY src_net16",
+    # High-cardinality GROUP BY: the journal grows one row per distinct
+    # key, which the planner must price (it used to charge only for the
+    # label list and blow the accuracy budget exactly here).
+    "SELECT COUNT(*), SUM(octets), AVG(rtt_avg_us) FROM clogs "
+    "GROUP BY src_port",
 ]
 
 
@@ -78,6 +83,62 @@ class TestBackendsAndUnits:
         predicted = estimate.seconds(model)
         metered = model.prove_seconds(service.last_prove_info.stats)
         assert predicted == pytest.approx(metered, rel=0.10)
+
+
+class TestPartitionedEstimates:
+    """The partitioned cost model against metered partition/merge runs."""
+
+    def _planner(self, service):
+        journal_bytes = len(service.chain.latest.receipt.journal.data)
+        return QueryPlanner(service.state, journal_bytes)
+
+    @pytest.mark.parametrize("sql", [QUERIES[0], QUERIES[2],
+                                     QUERIES[4]])
+    def test_partitioned_prediction_within_ten_percent(self, service,
+                                                       sql):
+        from repro.core.query_proof import QueryProver
+        from repro.engine import ProvingEngine
+        from repro.zkvm import ProverOpts
+        estimate = self._planner(service).estimate_partitioned(sql, 4)
+        with ProvingEngine(prover_opts=ProverOpts.groth16(),
+                           backend="thread", max_workers=2) as engine:
+            _, info = QueryProver(engine=engine).prove_query_partitioned(
+                sql, service.state, service.chain.latest.receipt, 4)
+        assert estimate.num_partitions == info.num_partitions
+        assert estimate.chunk_po2 == info.chunk_po2
+        for predicted, metered in zip(estimate.partition_estimates,
+                                      info.partition_infos):
+            assert predicted.predicted_cycles == pytest.approx(
+                metered.stats.total_cycles, rel=0.10)
+        assert estimate.merge_estimate.predicted_cycles == \
+            pytest.approx(info.merge_info.stats.total_cycles, rel=0.10)
+        assert estimate.predicted_cycles == pytest.approx(
+            info.stats.total_cycles, rel=0.10)
+
+    def test_modeled_latency_relations(self, service):
+        estimate = self._planner(service).estimate_partitioned(
+            QUERIES[0], 4)
+        model = CostModel()
+        assert estimate.modeled_seconds(model) < \
+            estimate.sequential_seconds(model)
+        # At 400 records the scan dominates per-proof overhead, so
+        # splitting must be modeled faster than the monolith.
+        serial = self._planner(service).estimate(QUERIES[0])
+        assert estimate.modeled_seconds(model) < serial.seconds(model)
+
+    def test_choose_strategy_crossover(self, service):
+        planner = self._planner(service)
+        assert planner.choose_strategy(QUERIES[0], 4) == "partitioned"
+        assert planner.choose_strategy(QUERIES[0], None) == "full-scan"
+        assert planner.choose_strategy(QUERIES[0], 1) == "full-scan"
+        # A handful of entries can never amortize an extra merge proof.
+        store, bulletin, _ = make_committed_records(10, seed=47)
+        small = ProverService(store, bulletin)
+        small.aggregate_window(0)
+        tiny = QueryPlanner(
+            small.state,
+            len(small.chain.latest.receipt.journal.data))
+        assert tiny.choose_strategy(QUERIES[0], 4) == "full-scan"
 
 
 class TestEdgeCases:

@@ -152,3 +152,42 @@ class TestQueries:
         assert service.answer_query(q2) is not None    # re-proved
         with pytest.raises(ConfigurationError):
             ProverService(store, bulletin, query_cache_size=0)
+
+    def test_stale_round_is_a_cache_miss(self):
+        """Regression: the cache key must include the committed root.
+
+        Two chains can hold the *same round index* over *different
+        data* (a restore onto a diverged chain, or any path that
+        rebuilds state without renumbering rounds).  A cache keyed on
+        (sql, round) alone would replay the other chain's response —
+        a receipt binding a root the service no longer commits.  We
+        replay that stale-round scenario literally: seed one service's
+        cache into another whose round 0 committed a different root,
+        and the lookup must miss.
+        """
+        sql = "SELECT COUNT(*) FROM clogs"
+        store_a, bulletin_a, _ = make_committed_records(30, seed=1)
+        service_a = ProverService(store_a, bulletin_a)
+        service_a.aggregate_window(0)
+        stale = service_a.answer_query(sql)
+
+        store_b, bulletin_b, _ = make_committed_records(40, seed=2)
+        service_b = ProverService(store_b, bulletin_b)
+        service_b.aggregate_window(0)
+        assert service_b.state.root != service_a.state.root
+        # Same sql, same round index, diverged root: under the old
+        # (sql, round) key this update would collide.
+        service_b._query_cache.update(service_a._query_cache)
+        fresh = service_b.answer_query(sql)
+        assert fresh is not stale
+        assert fresh.root == service_b.state.root
+        assert fresh.scanned == len(service_b.state)
+
+    def test_cache_key_carries_round_and_root(self):
+        store, bulletin, _ = make_committed_records(30)
+        service = ProverService(store, bulletin)
+        service.aggregate_window(0)
+        sql = "SELECT COUNT(*) FROM clogs"
+        service.answer_query(sql)
+        ((key, _),) = list(service._query_cache.items())
+        assert key == (sql, 0, service.state.root)

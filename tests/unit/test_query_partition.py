@@ -1,0 +1,322 @@
+"""Unit tests for partitioned query proving.
+
+Covers the new guest pair (partition + merge), the aligned-chunk
+layout, the host-side :meth:`QueryProver.prove_query_partitioned`
+pipeline through the engine, and the soundness boundaries: a partial
+result only counts when it binds the committed aggregation root
+through its subtree path, and the merge only counts when it folds
+every partition exactly once from the trusted partition image.
+"""
+
+import pytest
+
+from repro.core.aggregation import make_receipt_binding
+from repro.core.guest_programs import (
+    query_guest,
+    query_merge_guest,
+    query_partition_guest,
+)
+from repro.core.planner import partition_layout
+from repro.core.prover_service import ProverService
+from repro.core.query_proof import (
+    QueryProver,
+    QueryResponse,
+    env_query_partitions,
+)
+from repro.core.verifier_client import VerifierClient
+from repro.engine import ProvingEngine
+from repro.errors import (
+    ConfigurationError,
+    GuestAbort,
+    ProofError,
+    VerificationError,
+)
+from repro.zkvm import ExecutorEnvBuilder, Prover, ProverOpts
+
+from ..conftest import make_committed_records
+
+
+@pytest.fixture(scope="module")
+def proven():
+    """One aggregated round over 60 records, plus a thread engine."""
+    store, bulletin, _ = make_committed_records(60, seed=13)
+    service = ProverService(store, bulletin)
+    service.aggregate_window(0)
+    engine = ProvingEngine(prover_opts=ProverOpts.groth16(),
+                           backend="thread", max_workers=2)
+    yield service, bulletin, engine
+    engine.close()
+
+
+class TestPartitionLayout:
+    def test_exact_power_of_two(self):
+        assert partition_layout(64, 4) == (4, 4)
+
+    def test_ragged_last_chunk(self):
+        chunk_po2, count = partition_layout(60, 4)
+        assert (chunk_po2, count) == (4, 4)
+        # Partitions tile [0, 60): three full chunks + one of 12.
+        assert 60 - (3 << chunk_po2) == 12
+
+    def test_more_partitions_than_entries(self):
+        assert partition_layout(3, 8) == (0, 3)
+
+    def test_single_partition_covers_everything(self):
+        chunk_po2, count = partition_layout(60, 1)
+        assert count == 1
+        assert (1 << chunk_po2) >= 60
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            partition_layout(0, 4)
+        with pytest.raises(ConfigurationError):
+            partition_layout(10, 0)
+
+
+class TestEnvKnob:
+    def test_unset_and_blank(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUERY_PARTITIONS", raising=False)
+        assert env_query_partitions() is None
+        monkeypatch.setenv("REPRO_QUERY_PARTITIONS", "  ")
+        assert env_query_partitions() is None
+
+    def test_parses_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUERY_PARTITIONS", "4")
+        assert env_query_partitions() == 4
+        monkeypatch.setenv("REPRO_QUERY_PARTITIONS", "0")
+        assert env_query_partitions() is None
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUERY_PARTITIONS", "many")
+        with pytest.raises(ConfigurationError, match="integer"):
+            env_query_partitions()
+
+    def test_env_ignored_without_engine(self, monkeypatch):
+        """The env var tunes an engine-backed service; it must never
+        conjure an engine for a default one."""
+        monkeypatch.setenv("REPRO_QUERY_PARTITIONS", "4")
+        store, bulletin, _ = make_committed_records(12, seed=3)
+        service = ProverService(store, bulletin)
+        assert service.engine is None
+        assert service.query_partitions is None
+
+    def test_env_tunes_engine_backed_service(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUERY_PARTITIONS", "3")
+        store, bulletin, _ = make_committed_records(12, seed=3)
+        service = ProverService(store, bulletin, pool_backend="thread",
+                                prove_workers=2)
+        try:
+            assert service.query_partitions == 3
+            assert service.status()["query_partitions"] == 3
+        finally:
+            service.close()
+
+
+class TestQueryProverConfig:
+    def test_num_partitions_validated(self):
+        with pytest.raises(ConfigurationError):
+            QueryProver(num_partitions=0)
+
+    def test_partitioned_requires_engine(self, proven):
+        service, _, _ = proven
+        prover = QueryProver(num_partitions=4)
+        with pytest.raises(ConfigurationError, match="ProvingEngine"):
+            prover.prove_query_partitioned(
+                "SELECT COUNT(*) FROM clogs", service.state,
+                service.chain.latest.receipt)
+
+    def test_service_validates_query_partitions(self):
+        store, bulletin, _ = make_committed_records(8, seed=3)
+        with pytest.raises(ConfigurationError):
+            ProverService(store, bulletin, query_partitions=0)
+
+
+class TestPartitionedProving:
+    @pytest.mark.parametrize("partitions", [1, 2, 4, 7])
+    def test_byte_identical_to_serial(self, proven, partitions):
+        service, _, engine = proven
+        sql = ("SELECT COUNT(*), AVG(rtt_avg_us), SUM(octets) "
+               "FROM clogs WHERE hop_count >= 1")
+        serial, _ = QueryProver().prove_query(
+            sql, service.state, service.chain.latest.receipt)
+        prover = QueryProver(engine=engine)
+        response, info = prover.prove_query_partitioned(
+            sql, service.state, service.chain.latest.receipt,
+            num_partitions=partitions)
+        assert response.receipt.journal.data == \
+            serial.receipt.journal.data
+        assert response.values == serial.values
+        assert info.num_partitions == \
+            partition_layout(len(service.state), partitions)[1]
+        assert not response.receipt.claim.assumptions
+
+    def test_verifier_accepts_merged_receipt(self, proven):
+        """The unchanged client API verifies both strategies."""
+        service, bulletin, engine = proven
+        sql = "SELECT SUM(packets) FROM clogs GROUP BY src_net16"
+        prover = QueryProver(engine=engine)
+        response, _ = prover.prove_query_partitioned(
+            sql, service.state, service.chain.latest.receipt, 4)
+        client = VerifierClient(bulletin)
+        chain = client.verify_chain(service.chain.receipts())
+        verified = client.verify_query(response, chain[-1])
+        assert verified.root == service.state.root
+        assert response.receipt.claim.image_id == \
+            query_merge_guest.image_id
+
+    def test_verifier_rejects_untrusted_image(self, proven):
+        """A bare partition receipt is NOT a query answer: its journal
+        covers one slot range, so the client must refuse it outright."""
+        service, bulletin, engine = proven
+        sql = "SELECT COUNT(*) FROM clogs"
+        prover = QueryProver(engine=engine)
+        response, info = prover.prove_query_partitioned(
+            sql, service.state, service.chain.latest.receipt, 4)
+        partial = info.partition_infos[0].receipt
+        forged = QueryResponse(
+            sql=sql, labels=response.labels, values=response.values,
+            matched=response.matched, scanned=response.scanned,
+            round=response.round, root=response.root, receipt=partial)
+        client = VerifierClient(bulletin)
+        chain = client.verify_chain(service.chain.receipts())
+        with pytest.raises(VerificationError,
+                           match="not a trusted query program"):
+            client.verify_query(forged, chain[-1])
+
+    def test_empty_state_rejected(self, proven):
+        from repro.core.clog import CLogState
+        _, _, engine = proven
+        service, _, _ = proven
+        prover = QueryProver(engine=engine)
+        with pytest.raises(ProofError, match="empty"):
+            prover.prove_query_partitioned(
+                "SELECT COUNT(*) FROM clogs", CLogState(),
+                service.chain.latest.receipt, 2)
+
+    def test_prove_query_dispatches_by_plan(self, proven):
+        """Tiny states fall back to the full scan even when
+        partitioning is configured (per-proof overhead dominates)."""
+        service, _, engine = proven
+        prover = QueryProver(engine=engine, num_partitions=4)
+        response, info = prover.prove_query(
+            "SELECT COUNT(*) FROM clogs", service.state,
+            service.chain.latest.receipt)
+        # 60 entries sit below the modeled crossover.
+        assert response.receipt.claim.image_id == query_guest.image_id
+
+
+class TestPartitionGuestAborts:
+    def _partition_env(self, service, sql, index, partitions,
+                       siblings=None, start=None):
+        size = len(service.state)
+        chunk_po2, count = partition_layout(size, partitions)
+        chunk = 1 << chunk_po2
+        lo = index << chunk_po2
+        hi = min(size, lo + chunk)
+        entries = service.state.entries_in_slot_order()[lo:hi]
+        tree = service.state.merkle_map.tree
+        if siblings is None:
+            siblings = list(
+                tree.prove_subtree(chunk_po2, index).siblings)
+        builder = ExecutorEnvBuilder()
+        builder.write({
+            "query": sql,
+            "partition": index,
+            "num_partitions": count,
+            "chunk_po2": chunk_po2,
+            "start": lo if start is None else start,
+            "count": len(entries),
+            "siblings": siblings,
+        })
+        builder.write(make_receipt_binding(service.chain.latest.receipt))
+        for entry in entries:
+            builder.write({"key": entry.key.pack(),
+                           "payload": entry.to_payload()})
+        return builder.build()
+
+    def test_partition_journal_binds_geometry(self, proven):
+        service, _, _ = proven
+        sql = "SELECT COUNT(*) FROM clogs"
+        info = Prover().prove(query_partition_guest, self._partition_env(
+            service, sql, 1, 4))
+        journal = info.receipt.journal.decode_one()
+        assert journal["root"] == service.state.root
+        assert journal["partition"] == 1
+        assert journal["num_partitions"] == 4
+        chunk_po2, _ = partition_layout(len(service.state), 4)
+        assert journal["scanned"] == min(
+            len(service.state) - (1 << chunk_po2), 1 << chunk_po2)
+        assert len(journal["states"]) == 1
+
+    def test_tampered_sibling_path_aborts(self, proven):
+        service, _, _ = proven
+        tree = service.state.merkle_map.tree
+        chunk_po2, _ = partition_layout(len(service.state), 4)
+        siblings = list(tree.prove_subtree(chunk_po2, 0).siblings)
+        siblings[0] = siblings[-1]
+        with pytest.raises(GuestAbort, match="committed root"):
+            Prover().prove(query_partition_guest, self._partition_env(
+                service, "SELECT COUNT(*) FROM clogs", 0, 4,
+                siblings=siblings))
+
+    def test_misaligned_start_aborts(self, proven):
+        service, _, _ = proven
+        with pytest.raises(GuestAbort, match="slot alignment"):
+            Prover().prove(query_partition_guest, self._partition_env(
+                service, "SELECT COUNT(*) FROM clogs", 1, 4, start=3))
+
+
+class TestMergeGuestAborts:
+    def _partial(self, service, engine, sql, partitions=2):
+        prover = QueryProver(engine=engine)
+        _, info = prover.prove_query_partitioned(
+            sql, service.state, service.chain.latest.receipt,
+            partitions)
+        from repro.zkvm.recursion import resolve
+        return [resolve(p.receipt, service.chain.latest.receipt)
+                for p in info.partition_infos]
+
+    def _merge_env(self, sql, receipts, count=None):
+        builder = ExecutorEnvBuilder()
+        builder.write({"query": sql,
+                       "num_partitions": count or len(receipts)})
+        for receipt in receipts:
+            builder.write(make_receipt_binding(receipt))
+        return builder.build()
+
+    def test_duplicate_partition_aborts(self, proven):
+        service, _, engine = proven
+        sql = "SELECT COUNT(*) FROM clogs"
+        partials = self._partial(service, engine, sql)
+        with pytest.raises(GuestAbort, match="appears twice"):
+            Prover().prove(query_merge_guest, self._merge_env(
+                sql, [partials[0], partials[0]]))
+
+    def test_missing_partition_aborts(self, proven):
+        """Dropping a slot range must not yield a 'complete' answer —
+        completeness is the property the merge enforces."""
+        service, _, engine = proven
+        sql = "SELECT COUNT(*) FROM clogs"
+        partials = self._partial(service, engine, sql)
+        with pytest.raises(GuestAbort, match="partition count"):
+            Prover().prove(query_merge_guest, self._merge_env(
+                sql, [partials[0]]))
+
+    def test_query_text_mismatch_aborts(self, proven):
+        service, _, engine = proven
+        partials = self._partial(service, engine,
+                                 "SELECT COUNT(*) FROM clogs")
+        with pytest.raises(GuestAbort, match="different query"):
+            Prover().prove(query_merge_guest, self._merge_env(
+                "SELECT SUM(octets) FROM clogs", partials))
+
+    def test_foreign_image_aborts(self, proven):
+        """A receipt from any guest other than the partition guest —
+        even a trusted one — must not enter the fold."""
+        service, _, engine = proven
+        sql = "SELECT COUNT(*) FROM clogs"
+        agg_receipt = service.chain.latest.receipt
+        with pytest.raises(GuestAbort,
+                           match="not.*produced by the query partition"):
+            Prover().prove(query_merge_guest, self._merge_env(
+                sql, [agg_receipt], count=1))
