@@ -1,0 +1,183 @@
+"""Streaming composition benchmark: O(Δ) rounds vs O(window) rounds.
+
+The claim the stream subsystem makes (ROADMAP item 2): per-round prove
+cost depends on the round's *delta*, not on how large the CLog window
+has grown.  This bench preloads the CLog to W entries, then proves one
+round of a fixed Δ = 64 fresh records both ways:
+
+* **streamed** — Δ split into delta batches through
+  :class:`repro.stream.StreamingAggregator` (deltas + fold tree);
+* **rebuild** — the monolithic O(W) baseline, which re-hashes the
+  whole window every round.
+
+Across 4x window growth (W = 256 → 1024) the streamed round must stay
+flat within 10% — metered guest cycles grow only by the Merkle-path
+log-depth term — while the rebuild round grows ≥ 2.5x.  Both bounds
+are hard assertions on *metered* cycles and modeled prover seconds
+(deterministic, machine-independent); the wall-clock medians of the
+streamed rounds feed the CI regression gate (``check_regression.py``
+against ``results/baseline.json``).
+
+The preload ends with a small Δ-sized round on purpose: the measured
+round verifies its predecessor's receipt in-guest, so a predecessor
+with an O(W) journal would smuggle an O(W) term into both strategies
+and mask the comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.commitments import window_digest
+from repro.core.aggregation import Aggregator, RouterWindowInput
+from repro.core.clog import CLogState
+from repro.core.policy import DEFAULT_POLICY
+from repro.core.rebuild import RebuildAggregator
+from repro.engine import ProvingEngine, ReceiptCache
+from repro.netflow.records import FlowKey, NetFlowRecord
+from repro.stream import StreamingAggregator
+from repro.zkvm import ProverOpts
+from repro.zkvm.costmodel import CostModel
+
+MODEL = CostModel()
+W_SIZES = (256, 512, 1024)
+DELTA = 64
+BATCHES = 2
+FLATNESS = 1.10
+LINEAR_GROWTH = 2.5
+
+
+def record_for(index: int) -> NetFlowRecord:
+    return NetFlowRecord(
+        router_id="r1",
+        key=FlowKey(f"10.{(index >> 8) & 255}.{index & 255}.1",
+                    "172.16.0.1", 1_000 + index % 60_000, 2_000, 6),
+        packets=10, octets=1_000,
+        first_switched_ms=0, last_switched_ms=1_000,
+        hop_count=2, lost_packets=1, rtt_us=5_000, jitter_us=100)
+
+
+def inputs_for(start: int, count: int,
+               window: int) -> list[RouterWindowInput]:
+    blobs = tuple(record_for(start + i).to_bytes()
+                  for i in range(count))
+    return [RouterWindowInput(
+        router_id="r1", window_index=window,
+        commitment=window_digest(list(blobs)), blobs=blobs)]
+
+
+_PRELOADED: dict[int, tuple] = {}
+
+
+def preloaded(size: int):
+    """(state, prev_receipt) with ``size`` entries in the CLog.
+
+    Two rounds: a bulk round to ``size - DELTA`` entries, then a
+    Δ-sized round — so the receipt the measured round binds to carries
+    a fixed-size journal regardless of W.
+    """
+    if size not in _PRELOADED:
+        bulk = Aggregator().aggregate(
+            CLogState(), inputs_for(0, size - DELTA, 0), None)
+        last = Aggregator().aggregate(
+            bulk.new_state, inputs_for(size - DELTA, DELTA, 1),
+            bulk.receipt)
+        _PRELOADED[size] = (last.new_state, last.receipt)
+    return _PRELOADED[size]
+
+
+def streamed_round(size: int):
+    """Prove one Δ-record round via delta batches + fold tree."""
+    state, prev_receipt = preloaded(size)
+    with ProvingEngine(backend="serial",
+                       cache=ReceiptCache()) as engine:
+        streamer = StreamingAggregator(DEFAULT_POLICY,
+                                       ProverOpts.groth16(),
+                                       engine=engine)
+        per_batch = DELTA // BATCHES
+        for batch in range(BATCHES):
+            streamer.ingest(
+                state,
+                inputs_for(size + batch * per_batch, per_batch,
+                           2 + batch),
+                prev_receipt)
+        return streamer.close()
+
+
+def rebuild_round(size: int):
+    """The same Δ-record round through the O(W) rebuild guest."""
+    state, prev_receipt = preloaded(size)
+    return RebuildAggregator().aggregate(
+        state.clone(), inputs_for(size, DELTA, 2), prev_receipt)
+
+
+_COSTS: dict[int, dict] = {}
+
+
+def round_costs(size: int) -> dict:
+    """Metered cycles and modeled seconds for both strategies."""
+    if size not in _COSTS:
+        streamed = streamed_round(size)
+        jobs = (list(streamed.info.delta_results)
+                + list(streamed.info.fold_results))
+        rebuild = rebuild_round(size)
+        _COSTS[size] = {
+            "depth": streamed.new_state.depth,
+            "streamed_cycles": sum(j.stats.total_cycles
+                                   for j in jobs),
+            "streamed_seconds": sum(MODEL.prove_seconds(j.stats)
+                                    for j in jobs),
+            "rebuild_cycles": rebuild.info.stats.total_cycles,
+            "rebuild_seconds": MODEL.prove_seconds(
+                rebuild.info.stats),
+        }
+    return _COSTS[size]
+
+
+@pytest.mark.parametrize("size", W_SIZES)
+def test_stream_round_fixed_delta(benchmark, report, size):
+    """Wall-clock of one streamed Δ-round over a W-entry CLog (cold
+    cache each iteration) — the gated regression number."""
+    result = benchmark.pedantic(lambda: streamed_round(size),
+                                rounds=5, iterations=1,
+                                warmup_rounds=1)
+    assert result.record_count == DELTA
+    costs = round_costs(size)
+    report.table(
+        "stream-rounds",
+        f"Fixed Δ={DELTA} round cost vs window size "
+        "(streamed deltas+folds vs monolithic rebuild)",
+        ["W", "depth", "streamed_cycles", "streamed_s",
+         "rebuild_cycles", "rebuild_s"],
+    )
+    report.row("stream-rounds", size, costs["depth"],
+               costs["streamed_cycles"], costs["streamed_seconds"],
+               costs["rebuild_cycles"], costs["rebuild_seconds"])
+
+
+def test_streamed_flat_rebuild_linear(report):
+    """The O(Δ) contract, as hard assertions: across 4x window growth
+    the streamed round stays flat within 10% (cycles *and* modeled
+    seconds) while the rebuild round grows ≥ 2.5x."""
+    costs = {size: round_costs(size) for size in W_SIZES}
+    streamed_cycles = [costs[s]["streamed_cycles"] for s in W_SIZES]
+    streamed_seconds = [costs[s]["streamed_seconds"] for s in W_SIZES]
+    rebuild_cycles = [costs[s]["rebuild_cycles"] for s in W_SIZES]
+    cycle_spread = max(streamed_cycles) / min(streamed_cycles)
+    second_spread = max(streamed_seconds) / min(streamed_seconds)
+    growth = rebuild_cycles[-1] / rebuild_cycles[0]
+    report.table(
+        "stream-rounds-verdict",
+        f"O(Δ) verdict across {W_SIZES[0]} → {W_SIZES[-1]} entries",
+        ["streamed_cycle_spread", "streamed_second_spread",
+         "rebuild_growth"],
+    )
+    report.row("stream-rounds-verdict", cycle_spread, second_spread,
+               growth)
+    assert cycle_spread <= FLATNESS, (
+        f"streamed round cost grew {cycle_spread:.3f}x across "
+        f"{W_SIZES[-1] // W_SIZES[0]}x window growth")
+    assert second_spread <= FLATNESS
+    assert growth >= LINEAR_GROWTH, (
+        f"rebuild baseline grew only {growth:.2f}x — the O(W) "
+        "comparison lost its teeth")

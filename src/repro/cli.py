@@ -89,7 +89,9 @@ def rebuild_service(db: pathlib.Path, bulletin_path: pathlib.Path,
                     restore: bool = False,
                     pool_backend: str | None = None,
                     prove_workers: int | None = None,
-                    query_partitions: int | None = None
+                    query_partitions: int | None = None,
+                    stream: bool | None = None,
+                    stream_crossover: bool = False
                     ) -> ProverService:
     """A prover service over the persisted store/bulletin.
 
@@ -105,7 +107,9 @@ def rebuild_service(db: pathlib.Path, bulletin_path: pathlib.Path,
                             auto_checkpoint=auto_checkpoint,
                             pool_backend=pool_backend,
                             prove_workers=prove_workers,
-                            query_partitions=query_partitions)
+                            query_partitions=query_partitions,
+                            stream=stream,
+                            stream_crossover=stream_crossover)
     if restore:
         if service.restore():
             return service
@@ -226,7 +230,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                               restore=args.restore,
                               pool_backend=args.pool_backend,
                               prove_workers=args.prove_workers,
-                              query_partitions=args.query_partitions)
+                              query_partitions=args.query_partitions,
+                              stream=args.stream or None,
+                              stream_crossover=args.stream_crossover)
     server = ProverServer(
         service, host=args.host, port=args.port,
         request_timeout=args.request_timeout,
@@ -500,6 +506,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="answer queries as up to K partial proofs "
                         "merged through the engine when the planner "
                         "models that faster (implies the engine)")
+    p.add_argument("--stream", action="store_true",
+                   help="streaming composition: prove per-batch deltas "
+                        "as windows commit and fold them recursively, "
+                        "so each round boundary pays O(delta) instead "
+                        "of O(window) (implies the engine; REPRO_STREAM"
+                        "=1 does the same on an engine-backed service)")
+    p.add_argument("--stream-crossover", action="store_true",
+                   help="with --stream, let the planner's cost model "
+                        "fall back to the monolithic guest for rounds "
+                        "it prices cheaper (tiny or single-batch "
+                        "rounds)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("metrics",

@@ -132,7 +132,7 @@ class Aggregator:
                          prev_receipt: Receipt | None,
                          span) -> AggregationResult:
         ordered = sorted(windows,
-                         key=lambda w: (w.router_id, w.window_index))
+                         key=lambda w: (w.window_index, w.router_id))
         records = []
         from ..serialization import decode
         from ..netflow.records import NetFlowRecord

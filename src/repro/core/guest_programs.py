@@ -581,6 +581,246 @@ def query_merge_guest(env: GuestEnv) -> None:
     })
 
 
+@guest_program("telemetry-delta-aggregation-v1")
+def delta_aggregation_guest(env: GuestEnv) -> None:
+    """Algorithm 1 over one *batch* of freshly committed RLogs.
+
+    Identical to :data:`aggregation_guest` steps 2-3, but starting from
+    an intermediate (root, size, depth) rather than the round boundary:
+    a round's records are split across several deltas, proven as their
+    windows commit, and folded by :data:`fold_guest` into one receipt
+    whose journal is byte-identical to the monolithic guest's.
+
+    The header carries ``seq`` — this delta's position in the round.
+    Only delta 0 binds the previous round's receipt (step 1); every
+    later delta trusts nothing about its starting root by itself, and
+    becomes sound only once a fold chains it to delta 0 through the
+    intermediate-root continuity checks.  The journal is a *streamed*
+    header (the monolithic fields plus ``prev_size`` / ``prev_depth`` /
+    ``seq``) followed by the same per-record items.
+    """
+    header = env.read()
+    round_index = header["round"]
+    seq: int = header["seq"]
+    policy = AggregationPolicy.from_wire(header["policy"])
+    current_root: Digest = header["prev_root"]
+    size: int = header["prev_size"]
+    depth: int = header["prev_depth"]
+    hasher = env.merkle_hasher()
+
+    # -- Step 1 (delta 0 only): Verify Previous Aggregation ------------------
+    if seq < 0:
+        env.abort("delta sequence number must be non-negative")
+    if seq == 0:
+        if round_index > 0:
+            binding = env.read()
+            env.tick(len(binding["journal"]) * DECODE_CYCLES_PER_BYTE,
+                     "verify")
+            claim_digest = _guest_claim_digest(env, binding)
+            prev_values = decode_stream(binding["journal"])
+            prev_header = next(prev_values, None)
+            if not isinstance(prev_header, dict):
+                env.abort("previous journal has no header")
+            if prev_header.get("new_root") != current_root \
+                    or prev_header.get("size") != size \
+                    or prev_header.get("depth") != depth \
+                    or prev_header.get("round") != round_index - 1:
+                env.abort(
+                    "previous journal does not match claimed prev state")
+            env.verify(binding["image_id"], claim_digest)
+        else:
+            if size != 0 or current_root != EMPTY_ROOTS[0] or depth != 0:
+                env.abort("genesis round must start from an empty CLog")
+
+    # -- Step 2: Verify Authenticity of Raw Logs -----------------------------
+    windows: list[dict[str, Any]] = []
+    batch: list[tuple[bytes, dict[str, Any]]] = []
+    for _ in range(header["num_routers"]):
+        router_input = env.read()
+        recomputed = env.hash_many(TAG_COMMITMENT, router_input["blobs"],
+                                   category="commitment")
+        if recomputed != router_input["commitment"]:
+            env.abort(
+                f"integrity check failed for router "
+                f"{router_input['router_id']!r} window "
+                f"{router_input['window_index']}: commitment mismatch")
+        windows.append({
+            "r": router_input["router_id"],
+            "w": router_input["window_index"],
+            "c": recomputed,
+        })
+        for blob in router_input["blobs"]:
+            env.tick(len(blob) * DECODE_CYCLES_PER_BYTE, "decode")
+            wire = decode(blob)
+            batch.append((blob, wire))
+
+    # -- Step 3: Verify, Aggregate, and Update Merkle Tree -------------------
+    items: list[dict[str, Any]] = []
+    ops_remaining = header["num_ops"]
+    for blob, record_wire in batch:
+        if ops_remaining <= 0:
+            env.abort("witness exhausted before all records aggregated")
+        op = env.read()
+        ops_remaining -= 1
+        if op["op"] == OP_GROW:
+            current_root = hasher.node(current_root, EMPTY_ROOTS[depth])
+            depth += 1
+            if ops_remaining <= 0:
+                env.abort("grow op not followed by an insert")
+            op = env.read()
+            ops_remaining -= 1
+        siblings: list[Digest] = op["siblings"]
+        if len(siblings) != depth:
+            env.abort("witness path length does not match tree depth")
+        slot: int = op["slot"]
+        key_bytes: bytes = record_wire["key"]
+        env.tick(MERGE_CYCLES, "aggregate")
+        record = NetFlowRecord.from_wire(record_wire)
+        if op["op"] == OP_UPDATE:
+            old_payload: bytes = op["old_payload"]
+            old_leaf = hasher.leaf(key_bytes + old_payload)
+            if _path_root(hasher, old_leaf, slot, siblings) \
+                    != current_root:
+                env.abort("integrity check for existing CLog entry "
+                          "failed (line 17)")
+            env.tick(len(old_payload) * DECODE_CYCLES_PER_BYTE, "decode")
+            entry = CLogEntry.from_payload(old_payload)
+            if entry.key != record.key:
+                env.abort("witness entry key does not match record key")
+            new_entry = entry.merge(record, policy)
+        elif op["op"] == OP_INSERT:
+            if slot != size:
+                env.abort("insert must target the append slot")
+            if _path_root(hasher, EMPTY_ROOTS[0], slot, siblings) \
+                    != current_root:
+                env.abort("vacant-slot proof failed")
+            new_entry = CLogEntry.fresh(record)
+            size += 1
+        else:
+            env.abort(f"unknown witness op {op['op']!r}")
+        new_payload = new_entry.to_payload()
+        new_leaf = hasher.leaf(key_bytes + new_payload)
+        current_root = _path_root(hasher, new_leaf, slot, siblings)
+        record_tag = env.tagged_hash(
+            TAG_RLOG, blob, category="commitment").raw[:RECORD_TAG_BYTES]
+        items.append({"s": slot, "l": new_leaf, "t": record_tag})
+    if ops_remaining != 0:
+        env.abort("witness has more ops than records")
+
+    env.commit({
+        "round": round_index,
+        "prev_root": header["prev_root"],
+        "prev_size": header["prev_size"],
+        "prev_depth": header["prev_depth"],
+        "new_root": current_root,
+        "size": size,
+        "depth": depth,
+        "windows": windows,
+        "policy": policy.digest(),
+        "entries": len(items),
+        "seq": [seq, seq],
+    })
+    for item in items:
+        env.commit(item)
+
+
+@guest_program("telemetry-fold-v1")
+def fold_guest(env: GuestEnv) -> None:
+    """Recursive fold: merge one or two streamed child receipts.
+
+    Each child is a :data:`delta_aggregation_guest` or :data:`fold_guest`
+    receipt over a contiguous run of the round's deltas — its image id
+    is pinned, so a journal of the right shape from any other guest
+    cannot enter the tree.  Two children must be *adjacent*: the right
+    child's starting (root, size, depth) is the left child's ending
+    state and their sequence ranges abut, which by induction chains
+    every item back to delta 0's verification of the previous round.
+
+    A non-final fold re-commits the merged streamed journal.  The
+    ``final`` fold additionally requires the merged run to start at
+    delta 0 and commits exactly the monolithic :data:`aggregation_guest`
+    journal — byte-identical, so clients and caches cannot tell a
+    streamed round from a monolithic one.
+    """
+    header = env.read()
+    round_index = header["round"]
+    policy = AggregationPolicy.from_wire(header["policy"])
+    policy_digest = policy.digest()
+    num_children: int = header["num_children"]
+    final: bool = header["final"]
+    if num_children not in (1, 2):
+        env.abort("fold takes one or two children")
+    children: list[tuple[dict[str, Any], list[Any]]] = []
+    for _ in range(num_children):
+        binding = env.read()
+        if binding["image_id"] != delta_aggregation_guest.image_id \
+                and binding["image_id"] != fold_guest.image_id:
+            env.abort("fold child receipt was not produced by the "
+                      "delta or fold guest")
+        env.tick(len(binding["journal"]) * DECODE_CYCLES_PER_BYTE,
+                 "verify")
+        claim_digest = _guest_claim_digest(env, binding)
+        env.verify(binding["image_id"], claim_digest)
+        values = list(decode_stream(binding["journal"]))
+        child = values[0] if values else None
+        if not isinstance(child, dict) or "seq" not in child:
+            env.abort("fold child journal is not a streamed header")
+        if child["round"] != round_index:
+            env.abort("fold child proves a different round")
+        if child["policy"] != policy_digest:
+            env.abort("fold child used a different aggregation policy")
+        if child["entries"] != len(values) - 1:
+            env.abort("fold child item count does not match its header")
+        children.append((child, values[1:]))
+
+    left = children[0][0]
+    last = children[-1][0]
+    if num_children == 2:
+        right = children[1][0]
+        if right["prev_root"] != left["new_root"] \
+                or right["prev_size"] != left["size"] \
+                or right["prev_depth"] != left["depth"]:
+            env.abort("fold children are not contiguous: the right "
+                      "child does not start where the left child ended")
+        if right["seq"][0] != left["seq"][1] + 1:
+            env.abort("fold children sequence ranges do not abut")
+    env.tick(MERGE_CYCLES, "merge")
+
+    windows = [window for child, _ in children
+               for window in child["windows"]]
+    entries = sum(child["entries"] for child, _ in children)
+    if final:
+        if left["seq"][0] != 0:
+            env.abort("final fold must cover the round from delta 0")
+        env.commit({
+            "round": round_index,
+            "prev_root": left["prev_root"],
+            "new_root": last["new_root"],
+            "size": last["size"],
+            "depth": last["depth"],
+            "windows": windows,
+            "policy": policy_digest,
+            "entries": entries,
+        })
+    else:
+        env.commit({
+            "round": round_index,
+            "prev_root": left["prev_root"],
+            "prev_size": left["prev_size"],
+            "prev_depth": left["prev_depth"],
+            "new_root": last["new_root"],
+            "size": last["size"],
+            "depth": last["depth"],
+            "windows": windows,
+            "policy": policy_digest,
+            "entries": entries,
+            "seq": [left["seq"][0], last["seq"][1]],
+        })
+    for _, items in children:
+        for item in items:
+            env.commit(item)
+
+
 # -- guest registry ----------------------------------------------------------
 
 GUEST_REGISTRY: dict[str, GuestProgram] = {}
@@ -619,5 +859,6 @@ def resolve_guest(name: str) -> GuestProgram:
 
 
 for _program in (aggregation_guest, query_guest, partition_guest,
-                 merge_guest, query_partition_guest, query_merge_guest):
+                 merge_guest, query_partition_guest, query_merge_guest,
+                 delta_aggregation_guest, fold_guest):
     register_guest(_program)

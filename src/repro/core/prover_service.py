@@ -59,11 +59,17 @@ class ProverService:
                  query_cache_size: int = 256,
                  pool_backend: str | None = None,
                  prove_workers: int | None = None,
-                 query_partitions: int | None = None) -> None:
+                 query_partitions: int | None = None,
+                 stream: bool | None = None,
+                 stream_crossover: bool = False) -> None:
         if query_cache_size < 1:
             raise ConfigurationError("query_cache_size must be >= 1")
         if query_partitions is not None and query_partitions < 1:
             raise ConfigurationError("query_partitions must be >= 1")
+        if stream and strategy != "update":
+            raise ConfigurationError(
+                "streaming composition requires the 'update' strategy "
+                "(rebuild rounds have no delta decomposition)")
         self.store = store
         self.bulletin = bulletin
         self.policy = policy
@@ -76,7 +82,8 @@ class ProverService:
         # service must prove exactly like the seed (the obs contract
         # pins its telemetry namespace).
         self.engine = self._build_engine(prover_opts, pool_backend,
-                                         prove_workers, query_partitions)
+                                         prove_workers, query_partitions,
+                                         stream)
         prover = self.engine.prover(prover_opts) \
             if self.engine is not None else None
         # REPRO_QUERY_PARTITIONS only tunes a service that *already*
@@ -85,6 +92,19 @@ class ProverService:
         if query_partitions is None and self.engine is not None:
             query_partitions = env_query_partitions()
         self.query_partitions = query_partitions
+        # Same gating for REPRO_STREAM: an env var alone never changes
+        # how a default (engine-less) service proves.
+        if stream is None and self.engine is not None:
+            from ..stream.pipeline import env_stream
+            stream = env_stream() and strategy == "update"
+        self.stream_enabled = bool(stream)
+        self._streamer = None
+        self._stream_windows: list[int] = []
+        if self.stream_enabled:
+            from ..stream import StreamingAggregator
+            self._streamer = StreamingAggregator(
+                policy, prover_opts, engine=self.engine,
+                crossover=stream_crossover)
         if strategy == "update":
             self._aggregator = Aggregator(policy, prover_opts,
                                           prover=prover)
@@ -111,7 +131,8 @@ class ProverService:
     def _build_engine(self, prover_opts: ProverOpts | None,
                       pool_backend: str | None,
                       prove_workers: int | None,
-                      query_partitions: int | None = None):
+                      query_partitions: int | None = None,
+                      stream: bool | None = None):
         backend = pool_backend
         if backend is None and prover_opts is not None:
             backend = prover_opts.pool_backend
@@ -119,14 +140,14 @@ class ProverService:
         if workers is None and prover_opts is not None:
             workers = prover_opts.prove_workers
         if backend is None and workers is None \
-                and query_partitions is None:
+                and query_partitions is None and not stream:
             return None
         if workers is not None and workers < 1:
             raise ConfigurationError("prove_workers must be >= 1")
         if backend is None and workers is None:
-            # --query-partitions alone: partitioned queries want
-            # concurrency but nobody sized a worker pool, so stay
-            # in-process with threads rather than forking.
+            # --query-partitions (or --stream) alone: concurrency and
+            # the receipt cache are wanted but nobody sized a worker
+            # pool, so stay in-process with threads rather than forking.
             backend = "thread"
         from ..engine import ProvingEngine
         # The receipt cache's persistent tier rides the store's
@@ -148,22 +169,53 @@ class ProverService:
         """Window indices already consumed by a proven round."""
         return frozenset(self._aggregated_windows)
 
+    def pending_windows(self) -> list[int]:
+        """Committed-but-unproven windows, in commit order.
+
+        A window stays pending until the round consuming it is *proven*
+        — in stream mode an ingested (delta-proven but unclosed) window
+        is still pending, because no chained receipt covers it yet.
+        """
+        return [window for window in self.bulletin.windows()
+                if window not in self._aggregated_windows]
+
     def status(self) -> dict:
-        """Operational snapshot (the wire health endpoint's body)."""
-        return {
+        """Operational snapshot (the wire health endpoint's body).
+
+        ``pending_windows`` is the backlog: committed windows no proven
+        round has consumed.  Health checks need it to tell a prover
+        that is *catching up* (pending shrinking or empty) from one
+        that *stalled* (pending growing while rounds stand still) —
+        before it was added, both looked identical here.
+        """
+        status = {
             "rounds": len(self.chain),
             "flows": len(self.state),
             "strategy": self.strategy,
             "aggregated_windows": sorted(self._aggregated_windows),
             "committed_windows": self.bulletin.windows(),
+            "pending_windows": self.pending_windows(),
             "cached_queries": len(self._query_cache),
             "query_cache_max": self.query_cache_size,
             "auto_checkpoint": self.auto_checkpoint,
             "query_partitions": self.query_partitions,
+            "stream": self.stream_status(),
             "latest_root": (self.chain.latest.new_root.hex()
                             if len(self.chain) else None),
             "engine": (self.engine.snapshot()
                        if self.engine is not None else None),
+        }
+        return status
+
+    def stream_status(self) -> dict | None:
+        """Streaming-mode sub-status, or ``None`` when not enabled."""
+        if self._streamer is None:
+            return None
+        return {
+            "open_round": self._streamer.open_round,
+            "pending_deltas": self._streamer.pending_deltas,
+            "frontier_nodes": len(self._streamer.frontier),
+            "ingested_windows": sorted(self._stream_windows),
         }
 
     # -- aggregation ------------------------------------------------------------
@@ -239,8 +291,30 @@ class ProverService:
                     f"window {window_index} was already aggregated")
         prev_receipt = self.chain.latest_receipt if len(self.chain) \
             else None
-        result = self._aggregator.aggregate(self.state, inputs,
-                                            prev_receipt)
+        if self._streamer is not None:
+            from ..stream.pipeline import batch_windows
+            if self._streamer.open_round is not None:
+                # Absorb these windows as further deltas of the open
+                # round, then close it; the result also covers every
+                # previously ingested window.  Guarded: a faulted fold
+                # must not leave these windows half-ingested — the
+                # retry re-ingests them with the deltas replaying from
+                # the receipt cache.
+                with self._streamer.guarded():
+                    for batch in (batch_windows(inputs) if inputs
+                                  else []):
+                        self._streamer.ingest(self.state, batch,
+                                              prev_receipt)
+                    result = self._streamer.close()
+                window_indices = sorted(set(window_indices)
+                                        | set(self._stream_windows))
+                self._stream_windows = []
+            else:
+                result = self._streamer.aggregate(self.state, inputs,
+                                                  prev_receipt)
+        else:
+            result = self._aggregator.aggregate(self.state, inputs,
+                                                prev_receipt)
         # Commit the round only after the proof exists.
         self.state = result.new_state
         if self.retain_history:
@@ -265,6 +339,47 @@ class ProverService:
         if self.auto_checkpoint:
             self.checkpoint()
         return result
+
+    # -- streaming ---------------------------------------------------------------
+
+    def ingest_window(self, window_index: int,
+                      skip_uncommitted: bool = False) -> int:
+        """Stream mode: prove a delta for one committed window *now*.
+
+        The window joins the open round's fold frontier; it is **not**
+        yet covered by a chained receipt (it stays pending until
+        :meth:`close_stream_round`), but its delta proof is done — the
+        round boundary only pays the final folds.  Returns the number
+        of deltas ingested into the open round so far.
+        """
+        if self._streamer is None:
+            raise ConfigurationError(
+                "ingest_window() requires stream mode (stream=True or "
+                "REPRO_STREAM=1 on an engine-backed service)")
+        if window_index in self._aggregated_windows:
+            raise ProofError(
+                f"window {window_index} was already aggregated")
+        if window_index in self._stream_windows:
+            raise ProofError(
+                f"window {window_index} was already ingested into the "
+                f"open round")
+        inputs = self.gather_window(window_index, skip_uncommitted)
+        prev_receipt = self.chain.latest_receipt if len(self.chain) \
+            else None
+        with self._streamer.guarded():
+            self._streamer.ingest(self.state, inputs, prev_receipt)
+        self._stream_windows.append(window_index)
+        if self.auto_checkpoint:
+            # Persist the frontier: a crash between here and the round
+            # boundary resumes without re-proving this delta.
+            self.checkpoint()
+        return self._streamer.pending_deltas
+
+    def close_stream_round(self) -> AggregationResult:
+        """Close the open streamed round and commit its final receipt."""
+        if self._streamer is None or self._streamer.open_round is None:
+            raise ChainError("no streaming round is open")
+        return self.prove_round([], [])
 
     def aggregate_all_committed(self) -> list[AggregationResult]:
         """Aggregate every committed-but-unaggregated window, in order."""
@@ -374,6 +489,23 @@ class ProverService:
             "entries": [entry.to_wire()
                         for entry in self.state.entries_in_slot_order()],
         }
+        if self._streamer is not None \
+                and self._streamer.open_round is not None:
+            # Persist the open round's fold frontier (log-many receipts)
+            # so recovery replays only *unfolded* deltas; the delta
+            # proofs themselves also sit in the receipt cache's
+            # persistent tier, so even a dropped frontier re-proves
+            # nothing — this just skips the cache lookups and re-folds.
+            work = self._streamer.work_state
+            payload["stream"] = {
+                "round": self._streamer.open_round,
+                "windows": list(self._stream_windows),
+                "record_count": self._streamer.record_count,
+                "nodes": [node.to_wire()
+                          for node in self._streamer.frontier.nodes],
+                "entries": [entry.to_wire()
+                            for entry in work.entries_in_slot_order()],
+            }
         counter = obs.registry().counter(obs_names.SERVICE_CHECKPOINTS,
                                          ("outcome",))
         try:
@@ -412,8 +544,11 @@ class ProverService:
             blob = self.store.get_checkpoint(name)
             if blob is None:
                 return False
-            chain, state, windows = self._decode_checkpoint(blob)
+            chain, state, windows, payload = \
+                self._decode_checkpoint(blob)
             self._verify_snapshot(chain, state)
+            stream_resume = self._verify_stream_section(
+                payload.get("stream"), state)
         except CheckpointError:
             counter.inc(outcome="err")
             raise
@@ -421,6 +556,16 @@ class ProverService:
         self.state = state
         self._aggregated_windows = windows
         self._query_cache.clear()
+        if stream_resume is not None:
+            round_index, stream_windows, record_count, nodes, work = \
+                stream_resume
+            self._streamer.resume(round_index, work, nodes,
+                                  record_count)
+            self._stream_windows = list(stream_windows)
+            logger.info(
+                "resumed streaming round %d: %d frontier node(s), "
+                "windows=%s", round_index, len(nodes),
+                sorted(stream_windows))
         if self.retain_history and len(chain):
             # Only the latest round's state survives a crash; older
             # rounds need re-aggregation (retain_history is advisory).
@@ -437,7 +582,7 @@ class ProverService:
 
     def _decode_checkpoint(self, blob: bytes
                            ) -> tuple[AggregationChain, CLogState,
-                                      set[int]]:
+                                      set[int], dict]:
         try:
             payload = decode(blob)
         except ReproError as exc:
@@ -465,7 +610,109 @@ class ProverService:
         except (ReproError, KeyError, TypeError) as exc:
             raise CheckpointError(
                 f"malformed checkpoint: {exc}") from exc
-        return chain, state, windows
+        return chain, state, windows, payload
+
+    def _verify_stream_section(self, section, state: CLogState):
+        """Check a persisted fold frontier before resuming it.
+
+        Nothing here is taken on faith either: every frontier receipt
+        must re-verify against the delta/fold image ids, the chain of
+        (root, size, depth) continuity must hold from the restored
+        round state through every node, and the rebuilt mid-round work
+        state must recompute the last node's committed root.  Returns
+        the resume tuple, or ``None`` when there is nothing to resume
+        (including a streamed checkpoint restored by a non-streaming
+        service — the deltas stay pending and re-aggregate normally).
+        """
+        if section is None:
+            return None
+        if self._streamer is None:
+            logger.warning(
+                "checkpoint carries a streaming frontier but stream "
+                "mode is off; dropping it (windows stay pending)")
+            return None
+        from ..stream.frontier import FrontierNode
+        from ..zkvm import Receipt
+        from .guest_programs import delta_aggregation_guest, fold_guest
+        try:
+            round_index = section["round"]
+            stream_windows = list(section["windows"])
+            record_count = section["record_count"]
+            work = CLogState()
+            for wire in section["entries"]:
+                work.set_entry(CLogEntry.from_wire(wire))
+            node_wires = section["nodes"]
+        except (ReproError, KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"malformed streaming section: {exc}") from exc
+        if round_index != state.round:
+            raise CheckpointError(
+                f"streaming section is for round {round_index} but the "
+                f"restored state is at round {state.round}")
+        if not node_wires:
+            return None
+        verifier = Verifier()
+        nodes: list[FrontierNode] = []
+        for wire in node_wires:
+            try:
+                receipt = Receipt.from_wire(wire["receipt"])
+            except (ReproError, KeyError, TypeError) as exc:
+                raise CheckpointError(
+                    f"malformed frontier receipt: {exc}") from exc
+            verified = False
+            last_error: Exception | None = None
+            for image_id in (delta_aggregation_guest.image_id,
+                             fold_guest.image_id):
+                try:
+                    verifier.verify(receipt, image_id)
+                    verified = True
+                    break
+                except ReproError as exc:
+                    last_error = exc
+            if not verified:
+                raise CheckpointError(
+                    f"frontier receipt failed verification against the "
+                    f"delta and fold image ids: {last_error}"
+                ) from last_error
+            header = next(receipt.journal.values(), None)
+            if not isinstance(header, dict) or "seq" not in header:
+                raise CheckpointError(
+                    "frontier receipt journal is not a streamed header")
+            nodes.append(FrontierNode.from_wire(wire, header))
+        expected = (state.root, len(state), state.depth)
+        expected_seq = 0
+        previous_height: int | None = None
+        for node in nodes:
+            header = node.header
+            if header.get("round") != round_index:
+                raise CheckpointError(
+                    "frontier node proves a different round")
+            if (header.get("prev_root"), header.get("prev_size"),
+                    header.get("prev_depth")) != expected:
+                raise CheckpointError(
+                    "frontier nodes are not contiguous with the "
+                    "restored round state")
+            if header.get("seq", [None])[0] != expected_seq \
+                    or node.seq_lo != expected_seq \
+                    or node.seq_hi != header["seq"][1]:
+                raise CheckpointError(
+                    "frontier node sequence ranges do not abut")
+            if previous_height is not None \
+                    and node.height >= previous_height:
+                raise CheckpointError(
+                    "frontier node heights must strictly decrease")
+            previous_height = node.height
+            expected = (header["new_root"], header["size"],
+                        header["depth"])
+            expected_seq = header["seq"][1] + 1
+        if nodes[-1].header["new_root"] != work.root \
+                or nodes[-1].header["size"] != len(work):
+            raise CheckpointError(
+                f"restored mid-round entries recompute root "
+                f"{work.root.short()}… but the frontier committed "
+                f"{nodes[-1].header['new_root'].short()}… — streaming "
+                f"section rejected")
+        return (round_index, stream_windows, record_count, nodes, work)
 
     def _verify_snapshot(self, chain: AggregationChain,
                          state: CLogState) -> None:
@@ -484,12 +731,13 @@ class ProverService:
             raise CheckpointError(
                 f"restored state holds {len(state)} entries but round "
                 f"{latest.round} committed {latest.size}")
-        from .guest_programs import aggregation_guest
+        from .guest_programs import aggregation_guest, fold_guest
         from .rebuild import rebuild_aggregation_guest
         verifier = Verifier()
         last_error: Exception | None = None
         for image_id in (aggregation_guest.image_id,
-                         rebuild_aggregation_guest.image_id):
+                         rebuild_aggregation_guest.image_id,
+                         fold_guest.image_id):
             try:
                 verifier.verify(latest.receipt, image_id)
                 return

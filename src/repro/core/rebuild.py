@@ -219,7 +219,7 @@ class RebuildAggregator:
                          prev_receipt: Receipt | None
                          ) -> AggregationResult:
         ordered = sorted(windows,
-                         key=lambda w: (w.router_id, w.window_index))
+                         key=lambda w: (w.window_index, w.router_id))
         builder = ExecutorEnvBuilder()
         builder.write({
             "round": state.round,

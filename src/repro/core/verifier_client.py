@@ -63,13 +63,17 @@ class VerifierClient:
     def __init__(self, bulletin: BulletinBoard) -> None:
         self.bulletin = bulletin
         self._verifier = Verifier()
-        # Clients know the published guest programs' image ids.  Both
-        # aggregation strategies (update-path and full-rebuild) are
-        # trusted code with interchangeable journal layouts.
+        # Clients know the published guest programs' image ids.  All
+        # three aggregation strategies — update-path, full-rebuild, and
+        # streamed composition (whose final fold receipt commits the
+        # same journal byte-for-byte) — are trusted code with
+        # interchangeable journal layouts.
+        from .guest_programs import fold_guest
         from .rebuild import rebuild_aggregation_guest
         self.aggregation_image_ids = (
             aggregation_guest.image_id,
             rebuild_aggregation_guest.image_id,
+            fold_guest.image_id,
         )
         self.aggregation_image_id = aggregation_guest.image_id
         # A query answer arrives either as one full-scan receipt or as

@@ -1,0 +1,30 @@
+"""repro.stream: streaming/incremental proof composition.
+
+ROADMAP item 2, in the streaming-verification spirit of
+Cormode-Mitzenmacher-Thaler with the recursive folding of Kuznetsov et
+al.: instead of proving a round's whole window in one monolithic guest
+execution after it closes, prove small *deltas* as batches of RLogs
+commit and fold the delta receipts recursively — per-round prove cost
+becomes O(delta) plus a logarithmic fold tree, regardless of how large
+the window has grown.
+
+* :mod:`~repro.stream.frontier` — :class:`FoldFrontier`, the dyadic
+  binary-counter of pending delta/fold receipts (the ``submit_fanout``
+  partition/merge shape applied across *time* instead of slot ranges);
+* :mod:`~repro.stream.pipeline` — :class:`StreamingAggregator`, which
+  proves deltas through the engine's pool + receipt cache, folds them
+  as heights collide, and closes the round with a ``final`` fold whose
+  journal is byte-identical to the monolithic aggregation guest's.
+
+See ``docs/PERFORMANCE.md`` ("Streaming composition") for the design.
+"""
+
+from .frontier import FoldFrontier, FrontierNode
+from .pipeline import StreamingAggregator, StreamedRoundInfo
+
+__all__ = [
+    "FoldFrontier",
+    "FrontierNode",
+    "StreamedRoundInfo",
+    "StreamingAggregator",
+]

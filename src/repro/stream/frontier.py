@@ -1,0 +1,122 @@
+"""The fold frontier: a dyadic binary counter over delta receipts.
+
+Each ingested delta becomes a height-0 :class:`FrontierNode`.  Pushing a
+node that collides with an equal-height neighbour triggers a fold (the
+classic binary-counter carry), so at any moment the frontier holds at
+most ``log2(deltas) + 1`` receipts — exactly the state a crashed prover
+needs to resume a half-proven round without re-proving folded deltas,
+which is why nodes have a wire form and ride the service checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import CheckpointError
+from ..zkvm import Receipt
+
+
+@dataclass(frozen=True)
+class FrontierNode:
+    """One pending subtree of the round's fold tree.
+
+    ``receipt`` is an *unconditional* delta or fold receipt covering the
+    contiguous delta range ``[seq_lo, seq_hi]``; ``header`` is its
+    decoded streamed journal header (round, prev/new roots, sizes, the
+    windows consumed).  ``height`` drives the binary-counter carry rule
+    only — it is not part of the proven statement.
+    """
+
+    receipt: Receipt
+    header: dict[str, Any]
+    height: int
+    seq_lo: int
+    seq_hi: int
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "receipt": self.receipt.to_wire(),
+            "height": self.height,
+            "seq_lo": self.seq_lo,
+            "seq_hi": self.seq_hi,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any],
+                  header: dict[str, Any]) -> "FrontierNode":
+        try:
+            return cls(receipt=Receipt.from_wire(wire["receipt"]),
+                       header=header,
+                       height=wire["height"],
+                       seq_lo=wire["seq_lo"],
+                       seq_hi=wire["seq_hi"])
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"malformed frontier node: {exc}") from exc
+
+
+#: fold_fn(left, right_or_None, final) -> merged node.  ``right`` is
+#: ``None`` for the single-child promotion fold of a one-delta round.
+FoldFn = Callable[[FrontierNode, "FrontierNode | None", bool],
+                  FrontierNode]
+
+
+class FoldFrontier:
+    """Pending delta/fold receipts for the open round, oldest first."""
+
+    def __init__(self,
+                 nodes: "list[FrontierNode] | None" = None) -> None:
+        self._nodes: list[FrontierNode] = list(nodes or [])
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> tuple[FrontierNode, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def next_seq(self) -> int:
+        return self._nodes[-1].seq_hi + 1 if self._nodes else 0
+
+    def push(self, node: FrontierNode, fold: FoldFn) -> None:
+        """Append a delta node, folding equal-height carries eagerly."""
+        if node.seq_lo != self.next_seq:
+            raise CheckpointError(
+                f"frontier expected delta {self.next_seq}, got "
+                f"{node.seq_lo}")
+        # Carry on a scratch list and commit only once every fold job
+        # succeeded: a transient worker death mid-carry must leave the
+        # frontier exactly as it was, so the caller can retry the push
+        # (the delta receipt replays from the cache; only the faulted
+        # fold is proven again).
+        nodes = self._nodes + [node]
+        while len(nodes) >= 2 and nodes[-1].height == nodes[-2].height:
+            right = nodes.pop()
+            left = nodes.pop()
+            nodes.append(fold(left, right, False))
+        self._nodes = nodes
+
+    def close(self, fold: FoldFn) -> FrontierNode:
+        """Fold everything left into the round's final receipt.
+
+        The remaining nodes (strictly decreasing heights, oldest first)
+        merge left-to-right; the last merge — or a single-child
+        promotion when only one node remains — carries ``final=True``
+        and commits the monolithic journal.  The frontier empties.
+        """
+        if not self._nodes:
+            raise CheckpointError("cannot close an empty frontier")
+        nodes = list(self._nodes)
+        acc = nodes[0]
+        if len(nodes) == 1:
+            top = fold(acc, None, True)
+        else:
+            for nxt in nodes[1:-1]:
+                acc = fold(acc, nxt, False)
+            top = fold(acc, nodes[-1], True)
+        # Empty only after every fold proved — a faulted close keeps
+        # the frontier intact so it can simply be closed again.
+        self._nodes = []
+        return top

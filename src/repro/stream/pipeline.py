@@ -1,0 +1,512 @@
+"""The stream scheduler: prove deltas as windows commit, fold eagerly.
+
+:class:`StreamingAggregator` is the incremental counterpart of
+:class:`~repro.core.aggregation.Aggregator`.  Instead of waiting for the
+round boundary and proving the whole window monolithically, it
+
+1. proves each committed batch as a ``delta_aggregation_guest`` receipt
+   the moment it arrives (``ingest``), pricing O(batch) guest work;
+2. pushes the delta onto the :class:`~repro.stream.frontier.FoldFrontier`,
+   which folds equal-height subtrees eagerly (``fold_guest``), so fold
+   work overlaps the stream instead of stacking up at the boundary;
+3. closes the round (``close``) by folding the remaining frontier into
+   one receipt whose journal is **byte-identical** to the monolithic
+   guest's — verifiers and downstream caches cannot tell the difference.
+
+Every delta and fold is routed through the engine's
+:class:`~repro.engine.pool.PooledProver`, so a replayed delta (same
+windows, same starting state) is a receipt-cache hit rather than a
+re-prove — the property the chaos suite exercises.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.aggregation import (
+    AggregationResult,
+    Aggregator,
+    RouterWindowInput,
+    make_receipt_binding,
+)
+from ..core.clog import CLogState
+from ..core.guest_programs import delta_aggregation_guest, fold_guest
+from ..core.policy import DEFAULT_POLICY, AggregationPolicy
+from ..core.witness import AggregationWitness, build_witness
+from ..errors import ChainError, ProofError
+from ..netflow.records import NetFlowRecord
+from ..obs import names as obs_names
+from ..obs import runtime as obs
+from ..serialization import decode
+from ..zkvm import ExecutorEnvBuilder, ProverOpts, Receipt
+from ..zkvm.executor import ExecutorInput
+from ..zkvm.prover import ProveStats
+from ..zkvm.recursion import resolve, resolve_all
+from .frontier import FoldFrontier, FrontierNode
+
+
+#: Environment opt-in for streaming composition; like
+#: ``REPRO_QUERY_PARTITIONS`` it only tunes a service that already
+#: built an engine — see :class:`repro.core.prover_service.ProverService`.
+ENV_STREAM = "REPRO_STREAM"
+
+
+def env_stream() -> bool:
+    """``True`` when ``REPRO_STREAM`` requests streaming composition."""
+    return os.environ.get(ENV_STREAM, "").strip().lower() \
+        not in ("", "0", "false", "no")
+
+
+def order_windows(
+        windows: list[RouterWindowInput]) -> list[RouterWindowInput]:
+    """The canonical guest processing order: by window, then router.
+
+    Shared by the monolithic aggregators and the streaming pipeline —
+    byte-identity of the final journal depends on both sides walking
+    records identically.
+    """
+    return sorted(windows, key=lambda w: (w.window_index, w.router_id))
+
+
+def batch_windows(windows: list[RouterWindowInput]
+                  ) -> list[list[RouterWindowInput]]:
+    """Split a round's windows into per-window-index delta batches.
+
+    This is the natural streaming grain: all routers of window *i*
+    commit, then window *i + 1* starts.  An empty round still yields one
+    empty batch so the round can be proven (as a zero-window delta plus
+    a promotion fold).
+    """
+    batches: dict[int, list[RouterWindowInput]] = {}
+    for window in order_windows(windows):
+        batches.setdefault(window.window_index, []).append(window)
+    if not batches:
+        return [[]]
+    return [batches[index] for index in sorted(batches)]
+
+
+def build_delta_input(policy: AggregationPolicy, round_index: int,
+                      seq: int, witness: AggregationWitness,
+                      ordered: list[RouterWindowInput],
+                      prev_binding: dict[str, Any] | None
+                      ) -> ExecutorInput:
+    """Frames for one ``delta_aggregation_guest`` execution.
+
+    ``prev_binding`` is required exactly when ``seq == 0`` and
+    ``round_index > 0`` — only the round's first delta performs step 1.
+    """
+    builder = ExecutorEnvBuilder()
+    builder.write({
+        "round": round_index,
+        "policy": policy.to_wire(),
+        "prev_root": witness.prev_root,
+        "prev_size": witness.prev_size,
+        "prev_depth": witness.prev_depth,
+        "num_routers": len(ordered),
+        "num_ops": witness.op_count,
+        "seq": seq,
+    })
+    if seq == 0 and round_index > 0:
+        if prev_binding is None:
+            raise ChainError(
+                f"delta 0 of round {round_index} requires the round "
+                f"{round_index - 1} receipt binding")
+        builder.write(prev_binding)
+    for window in ordered:
+        builder.write({
+            "router_id": window.router_id,
+            "window_index": window.window_index,
+            "commitment": window.commitment,
+            "blobs": list(window.blobs),
+        })
+    for op in witness.ops:
+        builder.write(op)
+    return builder.build()
+
+
+def build_fold_input(policy: AggregationPolicy, round_index: int,
+                     bindings: list[dict[str, Any]],
+                     final: bool) -> ExecutorInput:
+    """Frames for one ``fold_guest`` execution over 1-2 child bindings."""
+    builder = ExecutorEnvBuilder()
+    builder.write({
+        "round": round_index,
+        "policy": policy.to_wire(),
+        "num_children": len(bindings),
+        "final": final,
+    })
+    for binding in bindings:
+        builder.write(binding)
+    return builder.build()
+
+
+def _combine_stats(parts: list[ProveStats]) -> ProveStats:
+    breakdown: dict[str, int] = {}
+    for part in parts:
+        for category, cycles in part.cycle_breakdown.items():
+            breakdown[category] = breakdown.get(category, 0) + cycles
+    return ProveStats(
+        total_cycles=sum(p.total_cycles for p in parts),
+        padded_cycles=sum(p.padded_cycles for p in parts),
+        segment_count=sum(p.segment_count for p in parts),
+        sha_compressions=sum(p.sha_compressions for p in parts),
+        wall_seconds=sum(p.wall_seconds for p in parts),
+        cycle_breakdown=breakdown,
+    )
+
+
+@dataclass(frozen=True)
+class StreamedRoundInfo:
+    """Aggregate prove info for a streamed round (duck-``ProveInfo``).
+
+    ``stats`` sums every delta and fold executed this round; the
+    per-job results keep their individual stats and ``cached`` flags so
+    callers (and the chaos suite) can see which legs were replayed from
+    the receipt cache.
+    """
+
+    receipt: Receipt
+    stats: ProveStats
+    delta_results: tuple[Any, ...]
+    fold_results: tuple[Any, ...]
+
+    @property
+    def cached_deltas(self) -> int:
+        return sum(1 for r in self.delta_results
+                   if getattr(r, "cached", False))
+
+    @property
+    def cached_folds(self) -> int:
+        return sum(1 for r in self.fold_results
+                   if getattr(r, "cached", False))
+
+
+class StreamingAggregator:
+    """Incremental round proving over a fold frontier.
+
+    Two usage styles:
+
+    * **streaming** — ``ingest(state, batch, prev_receipt)`` per
+      committed batch while the round is open, then ``close()`` at the
+      round boundary;
+    * **drop-in** — ``aggregate(state, windows, prev_receipt)`` with the
+      monolithic :class:`~repro.core.aggregation.Aggregator` signature,
+      which batches per window index, streams them through, and (with
+      ``crossover=True``) falls back to the monolithic guest whenever
+      the planner prices it cheaper for this round's shape.
+
+    ``engine`` must be a :class:`~repro.engine.scheduler.ProvingEngine`;
+    all proving goes through its pool and receipt cache.
+    """
+
+    def __init__(self, policy: AggregationPolicy = DEFAULT_POLICY,
+                 prover_opts: ProverOpts | None = None,
+                 engine: Any = None,
+                 crossover: bool = False) -> None:
+        if engine is None:
+            from ..engine import ProvingEngine
+            engine = ProvingEngine(policy=policy,
+                                   prover_opts=prover_opts
+                                   or ProverOpts.groth16())
+        self.policy = policy
+        self.engine = engine
+        self._opts = prover_opts or ProverOpts.groth16()
+        self._prover = engine.prover(self._opts)
+        self.crossover = crossover
+        self._fallback: Aggregator | None = None
+        self._reset()
+
+    def _reset(self) -> None:
+        self._frontier = FoldFrontier()
+        self._open_round: int | None = None
+        self._work: CLogState | None = None
+        self._record_count = 0
+        self._windows_seen = 0
+        self._delta_results: list[Any] = []
+        self._fold_results: list[Any] = []
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def open_round(self) -> int | None:
+        """The round currently being streamed, or ``None``."""
+        return self._open_round
+
+    @property
+    def frontier(self) -> FoldFrontier:
+        return self._frontier
+
+    @property
+    def pending_deltas(self) -> int:
+        """Deltas ingested into the open round so far."""
+        return self._frontier.next_seq
+
+    @property
+    def work_state(self) -> CLogState | None:
+        """The open round's evolving CLog state (ingested-so-far)."""
+        return self._work
+
+    @property
+    def record_count(self) -> int:
+        """Records ingested into the open round so far."""
+        return self._record_count
+
+    # -- streaming API -------------------------------------------------------
+
+    def ingest(self, state: CLogState,
+               windows: list[RouterWindowInput],
+               prev_receipt: Receipt | None = None) -> FrontierNode:
+        """Prove one delta batch and push it onto the frontier.
+
+        ``state`` opens the round on the first call; later calls only
+        check it still names the same round.  ``prev_receipt`` is
+        consumed by delta 0 (step-1 binding) and ignored afterwards.
+        """
+        if self._open_round is None:
+            if state.round > 0 and prev_receipt is None:
+                raise ChainError(
+                    f"round {state.round} requires the round "
+                    f"{state.round - 1} receipt")
+            self._open_round = state.round
+            self._work = state.clone()
+        elif state.round != self._open_round:
+            raise ChainError(
+                f"round {state.round} windows ingested while round "
+                f"{self._open_round} is still open")
+        seq = self._frontier.next_seq
+        ordered = order_windows(windows)
+        records = [NetFlowRecord.from_wire(decode(blob))
+                   for window in ordered for blob in window.blobs]
+        witness = build_witness(self._work, records, self.policy)
+        binding = None
+        if seq == 0 and self._open_round > 0:
+            binding = make_receipt_binding(prev_receipt)
+        env_input = build_delta_input(self.policy, self._open_round,
+                                      seq, witness, ordered, binding)
+        with obs.tracer().span(obs_names.SPAN_STREAM_DELTA,
+                               round=self._open_round, seq=seq,
+                               windows=len(ordered),
+                               records=len(records)) as span:
+            result = self._prover.prove(delta_aggregation_guest,
+                                        env_input)
+            span.add_cycles(result.stats.total_cycles)
+            span.set("cached", bool(getattr(result, "cached", False)))
+        receipt = result.receipt
+        if seq == 0 and self._open_round > 0:
+            receipt = resolve(receipt, prev_receipt)
+        header = next(receipt.journal.values(), None)
+        if not isinstance(header, dict) \
+                or header.get("new_root") != witness.new_root:
+            raise ProofError(
+                "delta guest root diverged from the host witness — "
+                "host/guest aggregation logic is out of sync")
+        node = FrontierNode(receipt=receipt, header=header, height=0,
+                            seq_lo=seq, seq_hi=seq)
+        # Push (which may fire carry folds) before recording anything:
+        # a faulted fold aborts the whole ingest with the frontier and
+        # bookkeeping untouched, so the retry replays this delta from
+        # the receipt cache and re-proves only the faulted fold.
+        self._frontier.push(node, self._fold_nodes)
+        self._delta_results.append(result)
+        obs.registry().counter(
+            obs_names.STREAM_DELTAS, ("cached",)).inc(
+            cached=str(bool(getattr(result, "cached", False))).lower())
+        obs.registry().gauge(obs_names.STREAM_FRONTIER).set(
+            len(self._frontier))
+        # The witness bumped the round on its result state; the round is
+        # still open, so pin it back until close().
+        witness.new_state.round = self._open_round
+        self._work = witness.new_state
+        self._record_count += len(records)
+        self._windows_seen += len(ordered)
+        return node
+
+    def close(self) -> AggregationResult:
+        """Fold the frontier down and emit the round's final receipt.
+
+        The final fold's journal is byte-identical to the monolithic
+        aggregation guest's, so the result chains like any other round.
+        """
+        if self._open_round is None or self._work is None:
+            raise ChainError("no streaming round is open")
+        final_node = self._frontier.close(self._fold_nodes)
+        header = final_node.header
+        if header.get("new_root") != self._work.root:
+            raise ProofError(
+                "streamed round root diverged from the host state — "
+                "host/guest aggregation logic is out of sync")
+        new_state = self._work
+        new_state.round = self._open_round + 1
+        stats = _combine_stats(
+            [r.stats for r in self._delta_results]
+            + [r.stats for r in self._fold_results])
+        info = StreamedRoundInfo(
+            receipt=final_node.receipt,
+            stats=stats,
+            delta_results=tuple(self._delta_results),
+            fold_results=tuple(self._fold_results),
+        )
+        result = AggregationResult(
+            round=self._open_round,
+            receipt=final_node.receipt,
+            info=info,
+            new_state=new_state,
+            record_count=self._record_count,
+            new_root=header["new_root"],
+        )
+        registry = obs.registry()
+        registry.counter(obs_names.STREAM_ROUNDS, ("strategy",)).inc(
+            strategy="streamed")
+        registry.gauge(obs_names.STREAM_FRONTIER).set(0)
+        self._reset()
+        return result
+
+    def abandon(self) -> None:
+        """Drop the open round's frontier (e.g. a superseding restore)."""
+        self._reset()
+
+    @contextmanager
+    def guarded(self):
+        """Roll the streamer back to its entry state if the body fails.
+
+        Failed proofs must leave the round exactly as it was (the
+        service's ``prove_round`` contract): deltas proven before the
+        fault stay in the receipt cache, so a retry replays them for
+        free and re-proves only what actually died — but nothing
+        half-ingested may survive in the frontier or the bookkeeping.
+        """
+        snapshot = (FoldFrontier(self._frontier.nodes),
+                    self._open_round, self._work, self._record_count,
+                    self._windows_seen, len(self._delta_results),
+                    len(self._fold_results))
+        try:
+            yield
+        except Exception:
+            (self._frontier, self._open_round, self._work,
+             self._record_count, self._windows_seen,
+             num_deltas, num_folds) = snapshot
+            del self._delta_results[num_deltas:]
+            del self._fold_results[num_folds:]
+            obs.registry().gauge(obs_names.STREAM_FRONTIER).set(
+                len(self._frontier))
+            raise
+
+    # -- drop-in API ---------------------------------------------------------
+
+    def aggregate(self, state: CLogState,
+                  windows: list[RouterWindowInput],
+                  prev_receipt: Receipt | None) -> AggregationResult:
+        """Prove one round with the monolithic aggregator's signature.
+
+        Windows are batched per window index and streamed; an already
+        open round absorbs the windows as further deltas before
+        closing.  With ``crossover=True`` and no open round, the
+        planner's cost model may route the whole round through the
+        monolithic guest instead (identical journal either way).
+        """
+        batches = batch_windows(windows)
+        if self._open_round is None and self.crossover \
+                and self._crossover_prefers_monolithic(state, batches,
+                                                       prev_receipt):
+            obs.registry().counter(obs_names.STREAM_ROUNDS,
+                                   ("strategy",)).inc(
+                strategy="monolithic")
+            if self._fallback is None:
+                self._fallback = Aggregator(self.policy, self._opts,
+                                            prover=self._prover)
+            return self._fallback.aggregate(state, windows, prev_receipt)
+        start = time.perf_counter()
+        with obs.tracer().span(obs_names.SPAN_AGG_ROUND,
+                               round=state.round,
+                               windows=len(windows),
+                               strategy="streamed") as span, \
+                self.guarded():
+            for batch in batches:
+                self.ingest(state, batch, prev_receipt)
+            result = self.close()
+            span.add_cycles(result.info.stats.total_cycles)
+            span.set("records", result.record_count)
+        registry = obs.registry()
+        registry.counter(obs_names.AGG_ROUNDS, ("strategy",)).inc(
+            strategy="streamed")
+        registry.counter(obs_names.AGG_RECORDS, ("strategy",)).inc(
+            result.record_count, strategy="streamed")
+        registry.histogram(obs_names.AGG_SECONDS,
+                           ("strategy",)).observe(
+            time.perf_counter() - start, strategy="streamed")
+        return result
+
+    def _crossover_prefers_monolithic(
+            self, state: CLogState,
+            batches: list[list[RouterWindowInput]],
+            prev_receipt: Receipt | None) -> bool:
+        from ..core.planner import choose_round_strategy
+        strategy = choose_round_strategy(
+            state, batches, policy=self.policy,
+            prev_receipt=prev_receipt)
+        return strategy == "monolithic"
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    def resume(self, round_index: int, work_state: CLogState,
+               nodes: list[FrontierNode], record_count: int,
+               windows_seen: int = 0) -> None:
+        """Adopt a persisted frontier mid-round (crash recovery).
+
+        ``work_state`` must be the CLog state *after* every delta in
+        ``nodes`` was applied; the caller (the prover service) verifies
+        the receipts and continuity before handing them over.
+        """
+        if self._open_round is not None:
+            raise ChainError(
+                f"cannot resume: round {self._open_round} is open")
+        if nodes and nodes[0].seq_lo != 0:
+            raise ChainError(
+                "cannot resume a frontier that does not start at delta 0")
+        self._frontier = FoldFrontier(nodes)
+        self._open_round = round_index
+        self._work = work_state.clone()
+        self._work.round = round_index
+        self._record_count = record_count
+        self._windows_seen = windows_seen
+        obs.registry().gauge(obs_names.STREAM_FRONTIER).set(
+            len(self._frontier))
+
+    # -- fold plumbing -------------------------------------------------------
+
+    def _fold_nodes(self, left: FrontierNode,
+                    right: FrontierNode | None,
+                    final: bool) -> FrontierNode:
+        children = [left] if right is None else [left, right]
+        bindings = [make_receipt_binding(node.receipt)
+                    for node in children]
+        env_input = build_fold_input(self.policy, self._open_round,
+                                     bindings, final)
+        with obs.tracer().span(obs_names.SPAN_STREAM_FOLD,
+                               round=self._open_round,
+                               children=len(children),
+                               final=final) as span:
+            result = self._prover.prove(fold_guest, env_input)
+            span.add_cycles(result.stats.total_cycles)
+            span.set("cached", bool(getattr(result, "cached", False)))
+        receipt = resolve_all(result.receipt,
+                              [node.receipt for node in children])
+        header = next(receipt.journal.values(), None)
+        if not isinstance(header, dict):
+            raise ProofError("fold journal missing header")
+        self._fold_results.append(result)
+        obs.registry().counter(
+            obs_names.STREAM_FOLDS, ("cached", "kind")).inc(
+            cached=str(bool(getattr(result, "cached", False))).lower(),
+            kind="final" if final else "merge")
+        return FrontierNode(
+            receipt=receipt,
+            header=header,
+            height=max(node.height for node in children) + 1,
+            seq_lo=left.seq_lo,
+            seq_hi=children[-1].seq_hi,
+        )

@@ -1,0 +1,177 @@
+"""Property tests for streaming/incremental proof composition.
+
+The load-bearing invariant of ``repro.stream``: for **any** RLog stream
+and **any** way of slicing it into delta batches, the streamed round's
+final fold commits a journal *byte-identical* to the monolithic
+aggregation guest's — so receipts are interchangeable, caches agree,
+chains built by either strategy link, and clients cannot tell how a
+round was proven.  A second invariant pins the fold frontier's
+binary-counter algebra, which the crash-recovery checkpoint relies on.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.commitments import window_digest
+from repro.core.aggregation import Aggregator, RouterWindowInput
+from repro.core.clog import CLogState
+from repro.core.guest_programs import fold_guest
+from repro.core.policy import DEFAULT_POLICY
+from repro.engine import ProvingEngine
+from repro.errors import CheckpointError
+from repro.stream import FoldFrontier, FrontierNode, StreamingAggregator
+from repro.stream.pipeline import order_windows
+from repro.zkvm import ProverOpts, Verifier
+
+from ..conftest import make_record
+
+ROUTERS = ("r1", "r2", "r3")
+# A small address pool so random streams exercise both CLog inserts
+# (fresh flows) and updates (repeat flows merging into existing slots).
+ADDRS = tuple(f"10.0.{i}.{j}" for i in range(2) for j in range(3))
+
+
+def _window_inputs(rng: random.Random, window_index: int,
+                   routers: int) -> list[RouterWindowInput]:
+    inputs = []
+    for router in ROUTERS[:routers]:
+        blobs = tuple(
+            make_record(
+                router_id=router,
+                src=rng.choice(ADDRS),
+                sport=rng.randrange(1000, 1004),
+                packets=rng.randrange(1, 500),
+                octets=rng.randrange(100, 200_000),
+                first_switched_ms=window_index * 1000 + i,
+                last_switched_ms=window_index * 1000 + i + 50,
+            ).to_bytes()
+            for i in range(rng.randrange(0, 4)))
+        if blobs:
+            inputs.append(RouterWindowInput(
+                router_id=router, window_index=window_index,
+                commitment=window_digest(list(blobs)), blobs=blobs))
+    return inputs
+
+
+@st.composite
+def round_streams(draw):
+    """(windows, batch cut points) for up to two chained rounds."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    rounds = []
+    for round_index in range(draw(st.integers(1, 2))):
+        windows = []
+        for w in range(draw(st.integers(1, 3))):
+            windows.extend(_window_inputs(
+                rng, round_index * 10 + w, routers=draw(st.integers(1, 3))))
+        ordered = order_windows(windows)
+        # Any partition of the canonically ordered stream into
+        # consecutive runs is a valid delta batching — including cuts
+        # *inside* one window index (routers split across deltas).
+        cuts = sorted(draw(st.sets(
+            st.integers(1, max(len(ordered) - 1, 1)), max_size=4)))
+        batches, lo = [], 0
+        for cut in cuts:
+            if lo < cut <= len(ordered):
+                batches.append(ordered[lo:cut])
+                lo = cut
+        batches.append(ordered[lo:])
+        rounds.append((windows, [b for b in batches if b] or [[]]))
+    return rounds
+
+
+@pytest.fixture(scope="module")
+def engine():
+    engine = ProvingEngine(prover_opts=ProverOpts.groth16(),
+                           backend="serial")
+    yield engine
+    engine.close()
+
+
+class TestStreamedByteIdentity:
+    @given(rounds=round_streams())
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[
+                  HealthCheck.function_scoped_fixture,
+                  HealthCheck.too_slow])
+    def test_final_journal_matches_monolithic(self, engine, rounds):
+        opts = ProverOpts.groth16()
+        mono_state, mono_prev = CLogState(), None
+        mono_journals = []
+        aggregator = Aggregator(DEFAULT_POLICY, opts)
+        for windows, _ in rounds:
+            result = aggregator.aggregate(mono_state, windows,
+                                          mono_prev)
+            mono_state, mono_prev = result.new_state, result.receipt
+            mono_journals.append(result.receipt.journal.data)
+
+        streamer = StreamingAggregator(DEFAULT_POLICY, opts,
+                                       engine=engine)
+        state, prev = CLogState(), None
+        for (_, batches), expected in zip(rounds, mono_journals):
+            for batch in batches:
+                streamer.ingest(state, batch, prev)
+            result = streamer.close()
+            assert result.receipt.journal.data == expected
+            assert not result.receipt.claim.assumptions
+            Verifier().verify(result.receipt, fold_guest.image_id)
+            state, prev = result.new_state, result.receipt
+        assert state.root == mono_state.root
+        assert state.round == mono_state.round
+
+
+def _fake_node(seq_lo: int, seq_hi: int, height: int) -> FrontierNode:
+    return FrontierNode(receipt=None, header={}, height=height,
+                        seq_lo=seq_lo, seq_hi=seq_hi)
+
+
+class TestFrontierAlgebra:
+    @given(n=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=100, deadline=None)
+    def test_binary_counter_and_close_cover_the_round(self, n):
+        finals = []
+
+        def fold(left, right, final):
+            if final:
+                finals.append((left, right))
+            if right is None:
+                return _fake_node(left.seq_lo, left.seq_hi,
+                                  left.height + 1)
+            # Carries only ever merge adjacent runs.
+            assert right.seq_lo == left.seq_hi + 1
+            return _fake_node(left.seq_lo, right.seq_hi,
+                              max(left.height, right.height) + 1)
+
+        frontier = FoldFrontier()
+        for seq in range(n):
+            assert frontier.next_seq == seq
+            frontier.push(_fake_node(seq, seq, 0), fold)
+            # The frontier holds one node per set bit of seq+1, with
+            # strictly decreasing heights (the counter invariant the
+            # checkpoint verifier re-checks on restore).
+            assert len(frontier) == bin(seq + 1).count("1")
+            heights = [node.height for node in frontier.nodes]
+            assert heights == sorted(heights, reverse=True)
+            assert len(set(heights)) == len(heights)
+        top = frontier.close(fold)
+        assert (top.seq_lo, top.seq_hi) == (0, n - 1)
+        assert len(finals) == 1
+        assert len(frontier) == 0
+
+    @given(n=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_out_of_order_push_is_rejected(self, n):
+        frontier = FoldFrontier()
+
+        def fold(left, right, final):  # pragma: no cover - no carries
+            raise AssertionError("no fold expected")
+
+        if n != 0:
+            with pytest.raises(CheckpointError):
+                frontier.push(_fake_node(n, n, 0), fold)
+        else:
+            with pytest.raises(CheckpointError):
+                frontier.close(fold)

@@ -282,6 +282,51 @@ class TestHealth:
             assert cap.registry.get("repro_daemon_health").value() == 0
 
 
+class TestStatusPendingWindows:
+    """Regression: ``ProverService.status()`` must surface the backlog.
+
+    Health tooling watches status() to tell a prover that is catching
+    up from one that stalled; before ``pending_windows`` was added,
+    committed-but-unproven windows were invisible there — both cases
+    reported the same body.
+    """
+
+    def test_status_lists_committed_but_unproven_windows(self, setup):
+        store, bulletin, service, clock = setup
+        assert service.status()["pending_windows"] == []
+        commit(store, bulletin, 0)
+        commit(store, bulletin, 1)
+        commit(store, bulletin, 2)
+        assert service.status()["pending_windows"] == [0, 1, 2]
+        service.aggregate_window(1)
+        status = service.status()
+        assert status["pending_windows"] == [0, 2]
+        assert status["aggregated_windows"] == [1]
+        service.aggregate_windows([0, 2])
+        assert service.status()["pending_windows"] == []
+
+    def test_stream_ingested_windows_stay_pending_until_close(self):
+        store = MemoryLogStore()
+        bulletin = BulletinBoard()
+        commit(store, bulletin, 0)
+        commit(store, bulletin, 1)
+        service = ProverService(store, bulletin, stream=True)
+        try:
+            service.ingest_window(0)
+            # Delta-proven but unclosed: no chained receipt covers the
+            # window yet, so the backlog must still report it.
+            status = service.status()
+            assert status["pending_windows"] == [0, 1]
+            assert status["stream"]["ingested_windows"] == [0]
+            service.ingest_window(1)
+            service.close_stream_round()
+            status = service.status()
+            assert status["pending_windows"] == []
+            assert status["stream"]["open_round"] is None
+        finally:
+            service.close()
+
+
 class TestBoundedStats:
     def test_results_keep_last_k(self, setup):
         store, bulletin, service, clock = setup
