@@ -198,7 +198,8 @@ def _query_remote(args: argparse.Namespace) -> int:
     """Issue the query over the wire; verify from fetched material."""
     from .net import QueryClient
     with QueryClient(args.connect) as client:
-        response, verified = client.verified_query(args.sql)
+        response, verified = client.verified_query(
+            args.sql, tenant=args.tenant)
     _print_verified_query(args, response, verified)
     return 0
 
@@ -233,8 +234,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
                               query_partitions=args.query_partitions,
                               stream=args.stream or None,
                               stream_crossover=args.stream_crossover)
+    qserve = None
+    if args.max_inflight is not None or args.tenant_rate is not None \
+            or args.qserve_batch:
+        from .qserve import QueryService
+        qserve = QueryService(
+            service,
+            max_inflight=(args.max_inflight
+                          if args.max_inflight is not None else 64),
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            batch_window=args.batch_window,
+            batch=args.qserve_batch or None)
     server = ProverServer(
         service, host=args.host, port=args.port,
+        qserve=qserve,
         request_timeout=args.request_timeout,
         idle_timeout=args.idle_timeout)
 
@@ -460,6 +474,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of local files")
     p.add_argument("--out", type=pathlib.Path, default=None,
                    help="write the query receipt JSON here")
+    p.add_argument("--tenant", default=None,
+                   help="tenant id sent with --connect queries; "
+                        "servers running the multi-tenant query "
+                        "service rate-limit and fair-queue per tenant")
     p.add_argument("--query-partitions", type=int, default=None,
                    metavar="K",
                    help="split the query proof into up to K "
@@ -512,6 +530,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "so each round boundary pays O(delta) instead "
                         "of O(window) (implies the engine; REPRO_STREAM"
                         "=1 does the same on an engine-backed service)")
+    p.add_argument("--max-inflight", type=int, default=None,
+                   help="enable the multi-tenant query service with a "
+                        "bounded admission queue of this many "
+                        "in-flight queries (typed admission-rejected "
+                        "errors past the bound)")
+    p.add_argument("--tenant-rate", type=float, default=None,
+                   help="per-tenant query admission rate (tokens/sec; "
+                        "implies the multi-tenant query service)")
+    p.add_argument("--tenant-burst", type=float, default=None,
+                   help="per-tenant token-bucket burst capacity "
+                        "(default: one second of --tenant-rate)")
+    p.add_argument("--batch-window", type=float, default=0.005,
+                   help="seconds the query service waits to batch "
+                        "compatible queries into one shared scan")
+    p.add_argument("--qserve-batch", action="store_true",
+                   help="batch compatible queries through the proving "
+                        "engine (also via REPRO_QSERVE_BATCH=1; "
+                        "needs an engine, e.g. --query-partitions)")
     p.add_argument("--stream-crossover", action="store_true",
                    help="with --stream, let the planner's cost model "
                         "fall back to the monolithic guest for rounds "

@@ -10,7 +10,6 @@ and can run off-path, at whatever cadence resources allow.
 from __future__ import annotations
 
 import logging
-from collections import OrderedDict
 
 from ..commitments import BulletinBoard
 from ..errors import (
@@ -24,6 +23,7 @@ from ..errors import (
 from ..hashing import Digest
 from ..obs import names as obs_names
 from ..obs import runtime as obs
+from ..qserve.cache import QueryResultCache
 from ..serialization import decode, encode
 from ..storage.backend import LogStore
 from ..zkvm import ProveInfo, ProverOpts, Verifier
@@ -57,6 +57,7 @@ class ProverService:
                  auto_checkpoint: bool = False,
                  checkpoint_name: str = DEFAULT_CHECKPOINT,
                  query_cache_size: int = 256,
+                 query_cache_persist: bool = False,
                  pool_backend: str | None = None,
                  prove_workers: int | None = None,
                  query_partitions: int | None = None,
@@ -124,8 +125,13 @@ class ProverService:
             prover_opts, prover=prover, engine=self.engine,
             num_partitions=self.query_partitions)
         self._aggregated_windows: set[int] = set()
-        self._query_cache: OrderedDict[tuple[str, int, Digest],
-                                       QueryResponse] = OrderedDict()
+        # The tiered result cache replaced the PR 3 OrderedDict: that
+        # dict was mutated unlocked by the server's concurrent executor
+        # threads.  Persistence is opt-in (``query_cache_persist``) —
+        # a default service keeps the seed's memory-only behaviour.
+        self.query_cache = QueryResultCache(
+            store=self.store if query_cache_persist else None,
+            memory_entries=query_cache_size)
         self.last_prove_info: ProveInfo | None = None
 
     def _build_engine(self, prover_opts: ProverOpts | None,
@@ -195,8 +201,10 @@ class ProverService:
             "aggregated_windows": sorted(self._aggregated_windows),
             "committed_windows": self.bulletin.windows(),
             "pending_windows": self.pending_windows(),
-            "cached_queries": len(self._query_cache),
+            "cached_queries":
+                self.query_cache.stats()["memory_entries"],
             "query_cache_max": self.query_cache_size,
+            "query_cache": self.query_cache.stats(),
             "auto_checkpoint": self.auto_checkpoint,
             "query_partitions": self.query_partitions,
             "stream": self.stream_status(),
@@ -410,6 +418,38 @@ class ProverService:
         commit a different root, and a cache keyed on (sql, round)
         would replay a response whose receipt binds the stale state.
         """
+        effective_round, committed_root = \
+            self.resolve_query_round(round_index)
+        if use_cache:
+            cached = self.query_cache.get(sql, effective_round,
+                                          committed_root)
+            if cached is not None:
+                obs.registry().counter(obs_names.SERVICE_QUERY_CACHE,
+                                       ("result",)).inc(result="hit")
+                return cached
+        obs.registry().counter(obs_names.SERVICE_QUERY_CACHE,
+                               ("result",)).inc(result="miss")
+        state, receipt = self.query_state(round_index)
+        response, info = self._query_prover.prove_query(
+            sql, state, receipt)
+        self.last_prove_info = info
+        self.query_cache.put(response)
+        logger.info(
+            "query proven: %r round=%d matched=%d/%d cycles=%d",
+            sql, response.round, response.matched, response.scanned,
+            info.stats.total_cycles)
+        return response
+
+    def resolve_query_round(self, round_index: int | None = None
+                            ) -> tuple[int, Digest]:
+        """Validate a query round; return ``(round, committed_root)``.
+
+        ``None`` means the latest proven round.  Raises the typed
+        errors the wire protocol maps — :class:`ChainError` when
+        nothing is proven yet, :class:`ProofError` for an out-of-range
+        round — so the query service can reject bad requests at
+        admission, before any proving resource is spent.
+        """
         # ChainError (a ProofError) rather than the bare IndexError a
         # naive chain access would give: callers and the wire error
         # table can tell "nothing proven yet" apart from a server bug.
@@ -425,38 +465,28 @@ class ProverService:
                 f"{len(self.chain)} round(s)")
         effective_round = round_index if round_index is not None \
             else (len(self.chain) - 1)
-        committed_root = self.chain[effective_round].new_root
-        cache_key = (sql, effective_round, committed_root)
-        if use_cache:
-            cached = self._query_cache.get(cache_key)
-            if cached is not None:
-                self._query_cache.move_to_end(cache_key)
-                obs.registry().counter(obs_names.SERVICE_QUERY_CACHE,
-                                       ("result",)).inc(result="hit")
-                return cached
-        obs.registry().counter(obs_names.SERVICE_QUERY_CACHE,
-                               ("result",)).inc(result="miss")
+        return effective_round, self.chain[effective_round].new_root
+
+    def query_state(self, round_index: int | None = None):
+        """The ``(state, aggregation receipt)`` a query proves against.
+
+        Shared by :meth:`answer_query` and the batched prover in
+        :mod:`repro.qserve` — both must bind a query to exactly the
+        state the chain's receipt attests.  Historical rounds need
+        ``retain_history=True``; note the *cache* path deliberately
+        does not require it (a cached historical answer replays fine
+        without the retained state), which is why this is separate
+        from :meth:`resolve_query_round`.
+        """
+        effective_round, _ = self.resolve_query_round(round_index)
         if round_index is None:
-            state, receipt = self.state, self.chain.latest.receipt
-        else:
-            historical = self._history.get(round_index)
-            if historical is None:
-                raise ProofError(
-                    f"no retained state for round {round_index}; "
-                    "construct the service with retain_history=True")
-            state, receipt = historical, self.chain[round_index].receipt
-        response, info = self._query_prover.prove_query(
-            sql, state, receipt)
-        self.last_prove_info = info
-        self._query_cache[cache_key] = response
-        self._query_cache.move_to_end(cache_key)
-        while len(self._query_cache) > self.query_cache_size:
-            self._query_cache.popitem(last=False)  # evict LRU
-        logger.info(
-            "query proven: %r round=%d matched=%d/%d cycles=%d",
-            sql, response.round, response.matched, response.scanned,
-            info.stats.total_cycles)
-        return response
+            return self.state, self.chain.latest.receipt
+        historical = self._history.get(round_index)
+        if historical is None:
+            raise ProofError(
+                f"no retained state for round {round_index}; "
+                "construct the service with retain_history=True")
+        return historical, self.chain[effective_round].receipt
 
     def estimate_query(self, sql: str):
         """Predict the proving cost of ``sql`` without proving it
@@ -555,7 +585,7 @@ class ProverService:
         self.chain = chain
         self.state = state
         self._aggregated_windows = windows
-        self._query_cache.clear()
+        self.query_cache.clear()
         if stream_resume is not None:
             round_index, stream_windows, record_count, nodes, work = \
                 stream_resume

@@ -192,6 +192,41 @@ class ProvingEngine:
         schedule.arm([self.pool.submit(job) for job in jobs], submit)
         return schedule
 
+    def submit_fanout_multi(self, jobs: list[ProofJob],
+                            build_merges: Any) -> "_RoundSchedule":
+        """:meth:`submit_fanout` with a fanned-back-out merge stage.
+
+        ``build_merges(results)`` returns a **list** of merge
+        :class:`ProofJob` s — one per downstream consumer — all
+        submitted together the moment the last sibling finishes.  This
+        is batched query proving's shape: one partition scan shared by
+        N queries, then N independent merge proofs so every query still
+        gets its own receipt.  The caller collects through
+        ``schedule.merge_futures`` (in ``build_merges`` output order);
+        ``merge_ready`` is set once they are submitted, or once a
+        sibling failure poisons the fan-out (``merge_futures`` stays
+        empty and ``merge_future`` is ``None`` — unless ``build_merges``
+        itself raised, in which case ``merge_future`` carries the
+        parked exception).
+        """
+        if not jobs:
+            raise ConfigurationError("fan-out needs at least one job")
+
+        def submit(schedule: "_RoundSchedule",
+                   results: list[JobResult]) -> None:
+            merge_jobs = build_merges(results)
+            if not merge_jobs:
+                raise ConfigurationError(
+                    "multi-merge fan-out built no merge jobs")
+            schedule.merge_futures = [self.pool.submit(job)
+                                      for job in merge_jobs]
+            schedule.merge_future = schedule.merge_futures[0]
+            schedule.merge_ready.set()
+
+        schedule = _RoundSchedule(0, [[job] for job in jobs])
+        schedule.arm([self.pool.submit(job) for job in jobs], submit)
+        return schedule
+
     # -- internals -----------------------------------------------------------
 
     def _submit_merge(self, schedule: "_RoundSchedule",
@@ -262,6 +297,7 @@ class _RoundSchedule:
         self.partitions = partitions
         self.partition_futures: list[Future] = []
         self.merge_future: Future | None = None
+        self.merge_futures: list[Future] = []
         self.merge_ready = threading.Event()
         self._lock = threading.Lock()
         self._remaining = 0

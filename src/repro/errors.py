@@ -187,6 +187,17 @@ class RemoteError(NetworkError):
         super().__init__(f"remote error [{code}]: {message}")
 
 
+class AdmissionRejected(NetworkError):
+    """The query service refused to admit a request (backpressure).
+
+    Raised by :class:`repro.qserve.QueryService` when a tenant exceeds
+    its token-bucket rate limit or the bounded admission queue is full.
+    Carries a dedicated wire code (``admission-rejected``) so clients
+    can tell "slow down and retry later" apart from every other
+    failure; the server never queues such a request.
+    """
+
+
 class RetryExhausted(NetworkError):
     """All retry attempts failed; ``__cause__`` is the last error."""
 

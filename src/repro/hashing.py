@@ -41,6 +41,8 @@ TAG_QUERY = "repro/query/text"
 TAG_CHAIN = "repro/core/chain"
 TAG_ENGINE_OPTS = "repro/engine/opts"
 TAG_ENGINE_KEY = "repro/engine/cache-key"
+TAG_QSERVE_KEY = "repro/qserve/result-key"
+TAG_QSERVE_BLOB = "repro/qserve/result-blob"
 
 
 class Digest:

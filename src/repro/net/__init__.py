@@ -22,6 +22,7 @@ round-trip through the canonical serialization
 (`repro.serialization` typed wire codecs).
 """
 
+from .aio import AsyncQueryClient
 from .client import QueryClient, RouterClient, ServiceClient, \
     parse_endpoint
 from .framing import DEFAULT_MAX_FRAME_SIZE, FrameDecoder, \
@@ -31,6 +32,7 @@ from .retry import NO_RETRY, RetryPolicy, call_with_retry
 from .server import ProverServer
 
 __all__ = [
+    "AsyncQueryClient",
     "DEFAULT_MAX_FRAME_SIZE",
     "Envelope",
     "FrameDecoder",

@@ -300,11 +300,22 @@ class QueryClient(ServiceClient):
     """Verifier-side stub: proven queries + the material to check them."""
 
     def query(self, sql: str,
-              round_index: int | None = None) -> Any:
-        """A proven :class:`~repro.core.query_proof.QueryResponse`."""
-        body = self._request(MessageKind.QUERY,
-                             {"sql": sql, "round": round_index})
-        return query_response_from_wire(body["response"])
+              round_index: int | None = None,
+              tenant: str | None = None) -> Any:
+        """A proven :class:`~repro.core.query_proof.QueryResponse`.
+
+        ``tenant`` identifies the caller to a server running the
+        multi-tenant serving layer (admission, per-tenant rate limits);
+        servers without one ignore it.  Backpressure surfaces as
+        :class:`~repro.errors.AdmissionRejected`, which is *not* a
+        transport error — the retry policy propagates it immediately
+        and the caller decides when to come back.
+        """
+        body = {"sql": sql, "round": round_index}
+        if tenant is not None:
+            body["tenant"] = tenant
+        reply = self._request(MessageKind.QUERY, body)
+        return query_response_from_wire(reply["response"])
 
     def fetch_receipt_chain(self) -> list[Any]:
         """The server's full aggregation receipt chain."""
@@ -317,8 +328,8 @@ class QueryClient(ServiceClient):
                 f"malformed receipt from server: {exc}") from exc
 
     def verified_query(self, sql: str,
-                       round_index: int | None = None
-                       ) -> tuple[Any, Any]:
+                       round_index: int | None = None,
+                       tenant: str | None = None) -> tuple[Any, Any]:
         """Query, then verify entirely from fetched public material.
 
         Pulls the bulletin and receipt chain alongside the response and
@@ -328,7 +339,7 @@ class QueryClient(ServiceClient):
         ``(QueryResponse, VerifiedQuery)``.
         """
         from ..core.verifier_client import VerifierClient
-        response = self.query(sql, round_index)
+        response = self.query(sql, round_index, tenant=tenant)
         verifier = VerifierClient(self.fetch_bulletin())
         verified = verifier.verify_response(response,
                                             self.fetch_receipt_chain())

@@ -15,7 +15,14 @@ Request kinds and their bodies:
 ``commit-window``      ``{commitment}`` → router publishes to the bulletin
 ``get-bulletin``       ``{}`` → every published commitment
 ``run-round``          ``{windows: [int] | None}`` → aggregation round(s)
-``query``              ``{sql, round: int | None}`` → proven QueryResponse
+``query``              ``{sql, round: int | None, tenant: str?}`` →
+                       proven QueryResponse.  ``tenant`` (optional,
+                       default ``"default"``) names the rate-limit
+                       bucket when the server runs the multi-tenant
+                       query service; servers without one ignore it.
+                       An over-limit or over-capacity request is
+                       rejected with the ``admission-rejected`` code
+                       instead of being queued.
 ``fetch-receipt-chain``  ``{}`` → the full aggregation receipt chain
 ``status``             ``{}`` → service status + supervised-daemon
                        health (``daemon`` is None when the server has
@@ -41,6 +48,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..errors import (
+    AdmissionRejected,
     ChainError,
     FrameTooLarge,
     IntegrityError,
@@ -148,6 +156,7 @@ def error_response(request_id: int, kind: str, code: str,
 # Order matters: the first entry whose class matches (isinstance) wins,
 # so subclasses must precede their parents.
 _CODE_TABLE: tuple[tuple[str, type[ReproError]], ...] = (
+    ("admission-rejected", AdmissionRejected),
     ("missing-commitment", MissingCommitment),
     ("integrity", IntegrityError),
     ("query-syntax", QuerySyntaxError),

@@ -42,6 +42,7 @@ from ..errors import (
     ProtocolError,
     ReproError,
 )
+from ..qserve.service import env_qserve_batch
 from ..serialization import query_response_to_wire
 from .framing import (
     DEFAULT_MAX_FRAME_SIZE,
@@ -68,6 +69,7 @@ class ProverServer:
     def __init__(self, service: Any, host: str = "127.0.0.1",
                  port: int = 0, *,
                  daemon: Any = None,
+                 qserve: Any = None,
                  max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
                  request_timeout: float = 60.0,
                  idle_timeout: float = 30.0,
@@ -75,6 +77,14 @@ class ProverServer:
         self.service = service
         self.bulletin = service.bulletin
         self.daemon = daemon  # optional AggregationDaemon for `status`
+        # The multi-tenant serving layer is opt-in: pass a configured
+        # QueryService (``serve --max-inflight/--tenant-rate``), or set
+        # REPRO_QSERVE_BATCH=1 to get a default one.  Without it,
+        # queries run one-per-request on the executor as before.
+        if qserve is None and env_qserve_batch():
+            from ..qserve import QueryService
+            qserve = QueryService(service)
+        self.qserve = qserve
         self.host = host
         self.port = port  # 0 until start() binds an ephemeral port
         self.max_frame_size = max_frame_size
@@ -96,6 +106,8 @@ class ProverServer:
             raise ProtocolError("server already started")
         self._round_lock = asyncio.Lock()
         self._conn_slots = asyncio.Semaphore(self.max_connections)
+        if self.qserve is not None:
+            await self.qserve.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -115,6 +127,8 @@ class ProverServer:
         self._server.close()
         await self._server.wait_closed()
         self._server = None
+        if self.qserve is not None:
+            await self.qserve.stop()
 
     # Background-thread runner: lets synchronous code (tests, examples,
     # benchmarks) host a live server without owning an event loop.
@@ -337,6 +351,8 @@ class ProverServer:
                 return await self._in_executor(
                     lambda: self._handle_run_round(body))
         if kind == MessageKind.QUERY.value:
+            if self.qserve is not None:
+                return await self._handle_query_qserve(body)
             return await self._in_executor(
                 lambda: self._handle_query(body))
         raise ProtocolError(f"unknown request kind {kind!r}")
@@ -363,6 +379,8 @@ class ProverServer:
             "service": self.service.status(),
             "daemon": (self.daemon.health()
                        if self.daemon is not None else None),
+            "qserve": (self.qserve.stats()
+                       if self.qserve is not None else None),
         }
 
     def _handle_get_bulletin(self) -> dict[str, Any]:
@@ -402,6 +420,30 @@ class ProverServer:
             raise ProtocolError("round must be an int or None")
         response = self.service.answer_query(sql,
                                              round_index=round_index)
+        return {"response": query_response_to_wire(response)}
+
+    async def _handle_query_qserve(self,
+                                   body: dict[str, Any]
+                                   ) -> dict[str, Any]:
+        """QUERY through the multi-tenant serving layer.
+
+        Unlike :meth:`_handle_query` this never blocks an executor
+        thread per request: the request parks on the admission queue
+        and only the dispatcher's batched proving occupies one.
+        Backpressure surfaces as the typed ``admission-rejected`` wire
+        code via the normal error mapping in ``_process``.
+        """
+        sql = _require(body, "sql", str)
+        round_index = body.get("round")
+        if round_index is not None and not isinstance(round_index, int):
+            raise ProtocolError("round must be an int or None")
+        tenant = body.get("tenant", "default")
+        if tenant is None:
+            tenant = "default"
+        if not isinstance(tenant, str):
+            raise ProtocolError("tenant must be a string")
+        response = await self.qserve.submit(sql, round_index,
+                                            tenant=tenant)
         return {"response": query_response_to_wire(response)}
 
     def _handle_fetch_receipt_chain(self) -> dict[str, Any]:

@@ -28,6 +28,8 @@ SPAN_NET_CLIENT_REQUEST = "net.client.request"
 SPAN_ENGINE_JOB = "engine.job"
 SPAN_STREAM_DELTA = "stream.delta"
 SPAN_STREAM_FOLD = "stream.fold"
+SPAN_QSERVE_ADMIT = "qserve.admit"
+SPAN_QSERVE_BATCH = "qserve.batch"
 
 SPAN_NAMES = frozenset({
     SPAN_EXECUTE,
@@ -47,6 +49,8 @@ SPAN_NAMES = frozenset({
     SPAN_ENGINE_JOB,
     SPAN_STREAM_DELTA,
     SPAN_STREAM_FOLD,
+    SPAN_QSERVE_ADMIT,
+    SPAN_QSERVE_BATCH,
 })
 
 # -- metric names (name -> declared label names) -----------------------------
@@ -94,6 +98,13 @@ STREAM_DELTAS = "repro_stream_deltas_total"
 STREAM_FOLDS = "repro_stream_folds_total"
 STREAM_ROUNDS = "repro_stream_rounds_total"
 STREAM_FRONTIER = "repro_stream_frontier_nodes"
+
+# multi-tenant query serving (admission + batching + result cache)
+QSERVE_ADMITTED = "repro_qserve_admitted_total"
+QSERVE_REJECTED = "repro_qserve_rejected_total"
+QSERVE_BATCHED = "repro_qserve_batched_total"
+QSERVE_CACHE = "repro_qserve_cache_total"
+QSERVE_INFLIGHT = "repro_qserve_inflight"
 
 # query proving
 QUERY_PROOFS = "repro_query_proofs_total"
@@ -151,6 +162,11 @@ METRIC_LABELS: dict[str, tuple[str, ...]] = {
     STREAM_FOLDS: ("cached", "kind"),
     STREAM_ROUNDS: ("strategy",),
     STREAM_FRONTIER: (),
+    QSERVE_ADMITTED: ("tenant",),
+    QSERVE_REJECTED: ("tenant", "reason"),
+    QSERVE_BATCHED: ("outcome",),
+    QSERVE_CACHE: ("tier", "result"),
+    QSERVE_INFLIGHT: (),
     QUERY_PROOFS: (),
     QUERY_SECONDS: (),
     QUERY_PARTITIONS: (),

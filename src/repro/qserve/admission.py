@@ -1,0 +1,208 @@
+"""Admission control for the multi-tenant query service.
+
+Three small, loop-affine pieces (the asyncio dispatcher owns them all,
+so no locks):
+
+* :class:`TokenBucket` — the classic rate limiter, one per tenant.
+  Refills continuously at ``rate`` tokens/second up to ``burst``; a
+  request is admitted iff a whole token is available.  Time comes from
+  an injectable ``clock`` so the tests drive it deterministically.
+* :class:`FairQueue` — per-tenant FIFO deques drained round-robin, so
+  one hot tenant can saturate its own queue without starving anyone
+  else's: each drain pass takes at most one request per tenant before
+  revisiting any of them.
+* :class:`AdmissionController` — the policy seam the service calls:
+  either *admit* (enqueue and return a position) or *reject* with a
+  typed reason (``rate`` or ``capacity``) that maps onto the
+  ``admission-rejected`` wire code.  The capacity bound is global —
+  an admission queue holds proofs-in-waiting, and a bound on it is
+  what turns overload into fast typed rejections instead of unbounded
+  latency.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from typing import Any, Callable, Iterator
+
+from ..errors import AdmissionRejected, ConfigurationError
+
+REASON_RATE = "rate"
+REASON_CAPACITY = "capacity"
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (``rate``/s, capacity ``burst``)."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ConfigurationError("token bucket rate must be > 0")
+        if burst < 1:
+            raise ConfigurationError("token bucket burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_take(self) -> bool:
+        """Consume one token if available."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class FairQueue:
+    """Per-tenant FIFOs drained round-robin.
+
+    ``push`` appends to the tenant's deque; :meth:`drain` yields up to
+    ``limit`` items taking at most one per tenant per pass, starting
+    after the tenant served last (so service order rotates rather than
+    always favouring the first tenant registered).
+    """
+
+    def __init__(self) -> None:
+        self._queues: "OrderedDict[str, deque[Any]]" = OrderedDict()
+        self._total = 0
+
+    def __len__(self) -> int:
+        return self._total
+
+    def push(self, tenant: str, item: Any) -> int:
+        """Enqueue; returns the queue depth after insertion."""
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = deque()
+            self._queues[tenant] = queue
+        queue.append(item)
+        self._total += 1
+        return self._total
+
+    def drain(self, limit: int) -> Iterator[Any]:
+        """Yield up to ``limit`` items, one per tenant per pass."""
+        taken = 0
+        while taken < limit and self._total:
+            progressed = False
+            for tenant in list(self._queues):
+                queue = self._queues[tenant]
+                if not queue:
+                    continue
+                yield queue.popleft()
+                self._total -= 1
+                taken += 1
+                progressed = True
+                if not queue:
+                    del self._queues[tenant]
+                else:
+                    # Rotate: the tenant just served goes to the back.
+                    self._queues.move_to_end(tenant)
+                if taken >= limit or not self._total:
+                    return
+            if not progressed:
+                return
+
+    def clear(self) -> list[Any]:
+        """Drop and return everything still queued (shutdown path)."""
+        items = [item for queue in self._queues.values()
+                 for item in queue]
+        self._queues.clear()
+        self._total = 0
+        return items
+
+
+class AdmissionController:
+    """Token buckets + the bounded fair queue = admit or typed reject."""
+
+    def __init__(self, max_inflight: int = 64,
+                 tenant_rate: float | None = None,
+                 tenant_burst: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_inflight < 1:
+            raise ConfigurationError("max_inflight must be >= 1")
+        if tenant_rate is not None and tenant_rate <= 0:
+            raise ConfigurationError("tenant_rate must be > 0")
+        self.max_inflight = max_inflight
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self.queue = FairQueue()
+        self.inflight = 0
+
+    def _bucket(self, tenant: str) -> TokenBucket | None:
+        if self.tenant_rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            burst = self.tenant_burst
+            if burst is None:
+                burst = max(1.0, self.tenant_rate)
+            bucket = TokenBucket(self.tenant_rate, burst,
+                                 clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str) -> None:
+        """Charge one request to ``tenant`` or raise (typed).
+
+        Order matters: the rate check runs first so a throttled tenant
+        is told to slow down even when there is capacity, and a
+        rate-admitted request is only then charged against the global
+        bound.  The raised :class:`AdmissionRejected` carries a
+        ``reason`` attribute (:data:`REASON_RATE` /
+        :data:`REASON_CAPACITY`) for the rejection counter's label.
+
+        Admission and enqueueing are separate steps so the service can
+        consult the result cache in between — an admitted request that
+        hits the cache is answered immediately (and released) without
+        ever occupying the proving queue.  ``inflight`` counts
+        admitted-but-unresolved requests; :meth:`release` returns the
+        slot.
+        """
+        bucket = self._bucket(tenant)
+        if bucket is not None and not bucket.try_take():
+            exc = AdmissionRejected(
+                f"tenant {tenant!r} exceeded its rate limit "
+                f"({self.tenant_rate}/s); retry later")
+            exc.reason = REASON_RATE
+            raise exc
+        if self.inflight >= self.max_inflight:
+            exc = AdmissionRejected(
+                f"admission queue is full ({self.max_inflight} "
+                "requests in flight); retry later")
+            exc.reason = REASON_CAPACITY
+            raise exc
+        self.inflight += 1
+
+    def enqueue(self, tenant: str, item: Any) -> int:
+        """Queue an admitted request; returns the total queue depth."""
+        return self.queue.push(tenant, item)
+
+    def release(self) -> None:
+        """One admitted request fully resolved."""
+        if self.inflight > 0:
+            self.inflight -= 1
+
+
+__all__ = [
+    "REASON_CAPACITY",
+    "REASON_RATE",
+    "AdmissionController",
+    "FairQueue",
+    "TokenBucket",
+]

@@ -335,3 +335,151 @@ class TestQueryPartitionFaults:
             assert snap["jobs_failed"] == 1
         finally:
             service.close()
+
+
+class TestQServeBatchFaults:
+    """Worker faults and crashes under *batched* query serving.
+
+    A batch shares its partition scans across member queries, so the
+    failure domain is new: one faulted merge must not take down the
+    queries that already proved, and a retry must replay the shared
+    partitions from the content-addressed receipt cache rather than
+    re-scanning.  Crash/restore adds the staleness question — a chain
+    that diverged after restore must never be answered from the
+    persistent result cache.
+    """
+
+    SQLS = [
+        "SELECT COUNT(*) FROM clogs",
+        "SELECT SUM(octets), MIN(packets) FROM clogs",
+        "SELECT AVG(rtt_avg_us) FROM clogs WHERE packets > 50",
+    ]
+
+    def _submit_all(self, qserve, sqls):
+        import asyncio
+
+        async def scenario():
+            await qserve.start()
+            try:
+                return await asyncio.gather(
+                    *(qserve.submit(sql) for sql in sqls),
+                    return_exceptions=True)
+            finally:
+                await qserve.stop()
+
+        return asyncio.run(scenario())
+
+    def test_batch_merge_fault_survivors_answer_faulted_retries(self):
+        """A transient engine.worker fault kills the first merge of a
+        3-query batch.  The other two queries still answer from the
+        same fan-out, and the faulted one retries with every shared
+        partition replaying from the receipt cache — every journal
+        ends up byte-identical to a fault-free serial run."""
+        from repro.core.planner import partition_layout
+        from repro.qserve import QueryService
+
+        store, bulletin, _ = make_committed_records(60, seed=13)
+        reference_store, reference_bulletin, _ = \
+            make_committed_records(60, seed=13)
+        reference = ProverService(reference_store, reference_bulletin)
+        reference.aggregate_all_committed()
+        expected = {sql: reference.answer_query(sql) for sql in
+                    self.SQLS}
+
+        service = ProverService(store, bulletin, pool_backend="thread",
+                                prove_workers=2)
+        try:
+            service.aggregate_all_committed()
+            num_partitions = partition_layout(len(service.state), 4)[1]
+            # The fan-out submits the partition jobs first, then one
+            # merge per query: fire start=P+1 hits the first merge.
+            injector = FaultInjector(FaultPlan.parse(
+                f"engine.worker:proof:start={num_partitions + 1},"
+                "count=1", seed=SEED))
+            inject_faults(service, injector)
+            qserve = QueryService(service, batch=True,
+                                  batch_window=0.2)
+            responses = self._submit_all(qserve, self.SQLS)
+            for sql, response in zip(self.SQLS, responses):
+                assert not isinstance(response, BaseException), response
+                assert response.receipt.journal.data == \
+                    expected[sql].receipt.journal.data
+            assert injector.stats()["injected"]["engine.worker"] == 1
+            snap = service.status()["engine"]
+            assert snap["jobs_failed"] == 1
+            assert snap["in_flight"] == 0
+        finally:
+            service.close()
+
+    def test_crash_restore_diverged_chain_never_serves_stale(self):
+        """Kill the service mid-batch, then restore onto a chain that
+        aggregated *different* windows to the same round index.  The
+        killed query fails typed (never hangs), and nothing proven
+        before the crash is served for the diverged root — the
+        persistent result cache is root-keyed."""
+        import asyncio
+
+        from repro.errors import NetworkError
+        from repro.qserve import QueryService
+
+        store = MemoryLogStore()
+        bulletin = BulletinBoard()
+        populate(store, bulletin, windows=2, rows_per_window=3)
+        sql = self.SQLS[0]
+
+        service_a = ProverService(store, bulletin,
+                                  pool_backend="thread",
+                                  prove_workers=2)
+        try:
+            service_a.aggregate_window(0)
+            stale_root = service_a.state.root
+            qserve_a = QueryService(service_a, batch=True,
+                                    batch_window=30.0)
+
+            async def crash_mid_batch():
+                await qserve_a.start()
+                # One answer lands in the persistent tier first.
+                proven = await qserve_a.submit(sql)
+                # The second is queued when the service dies: the huge
+                # batch window guarantees it is still waiting.
+                victim = asyncio.ensure_future(
+                    qserve_a.submit(self.SQLS[1]))
+                await asyncio.sleep(0.05)
+                await qserve_a.stop()
+                return proven, await asyncio.gather(
+                    victim, return_exceptions=True)
+
+            stale, (victim_outcome,) = asyncio.run(crash_mid_batch())
+            assert stale.root == stale_root
+            assert isinstance(victim_outcome, NetworkError)
+        finally:
+            service_a.close()
+
+        # Restore: same store, same round index, different windows —
+        # a diverged chain with a different committed root.
+        service_b = ProverService(store, bulletin,
+                                  pool_backend="thread",
+                                  prove_workers=2)
+        try:
+            service_b.aggregate_window(1)
+            assert service_b.state.root != stale_root
+            qserve_b = QueryService(service_b, batch=True,
+                                    batch_window=0.05)
+            # With the persistent tier attached, the stale answer is
+            # still invisible to the diverged chain (root-keyed)...
+            assert service_b.query_cache.get(
+                sql, 0, service_b.state.root) is None
+            # ...while the stale root would still find it.
+            assert service_b.query_cache.get(sql, 0,
+                                             stale_root) is not None
+            responses = self._submit_all(qserve_b,
+                                         [sql, self.SQLS[1]])
+            for response in responses:
+                assert not isinstance(response, BaseException), response
+                assert response.root == service_b.state.root
+            assert responses[0].receipt.journal.data != \
+                stale.receipt.journal.data
+            # The killed query left no half-proven cache entry behind.
+            assert service_b.query_cache.stats()["persistent"] is True
+        finally:
+            service_b.close()

@@ -432,3 +432,171 @@ class TestStreamContract:
                 assert cap.exporter.by_name(name) == []
             for name in STREAM_METRIC_LABELS:
                 assert cap.registry.get(name) is None, name
+
+
+QSERVE_METRIC_LABELS = {
+    "repro_qserve_admitted_total": ("tenant",),
+    "repro_qserve_rejected_total": ("tenant", "reason"),
+    "repro_qserve_batched_total": ("outcome",),
+    "repro_qserve_cache_total": ("tier", "result"),
+    "repro_qserve_inflight": (),
+}
+
+QSERVE_SPANS = {"qserve.admit", "qserve.batch"}
+
+
+class TestQServeContract:
+    """The multi-tenant serving namespace, pinned like the others.
+
+    The query service is explicit opt-in (a ``QueryService`` in front
+    of the prover service), so these names never appear for a default
+    service — the sequential contract above stays intact.  The cache
+    counters ride the same gate: ``repro_qserve_cache_total`` is
+    emitted only once a query service enables observation on the
+    shared result cache.
+    """
+
+    def _serve_queries(self, qserve, plan):
+        """Run (sql, tenant) submits sequentially on a fresh loop;
+        returns outcomes (responses or the raised exception)."""
+        import asyncio
+
+        async def scenario():
+            await qserve.start()
+            outcomes = []
+            try:
+                for sql, tenant in plan:
+                    try:
+                        outcomes.append(await qserve.submit(
+                            sql, tenant=tenant))
+                    except Exception as exc:
+                        outcomes.append(exc)
+            finally:
+                await qserve.stop()
+            return outcomes
+
+        return asyncio.run(scenario())
+
+    def test_qserve_emits_exact_names(self):
+        import asyncio
+
+        from repro.errors import AdmissionRejected
+        from repro.qserve import QueryService
+
+        store, bulletin, _ = make_committed_records(40, seed=21)
+        service = ProverService(store, bulletin, pool_backend="thread",
+                                prove_workers=2)
+        try:
+            service.aggregate_all_committed()
+            qserve = QueryService(service, tenant_rate=2.0,
+                                  tenant_burst=2.0, batch=True,
+                                  batch_window=0.05)
+            with obs.capture() as cap:
+                # Two distinct queries land in one batch...
+                async def batch_two():
+                    await qserve.start()
+                    try:
+                        return await asyncio.gather(
+                            qserve.submit("SELECT COUNT(*) FROM clogs",
+                                          tenant="alpha"),
+                            qserve.submit("SELECT SUM(octets) "
+                                          "FROM clogs",
+                                          tenant="alpha"))
+                    finally:
+                        await qserve.stop()
+
+                first, second = asyncio.run(batch_two())
+                assert first.value() is not None
+                # ...then a hot tenant burns its burst on a cached
+                # query and gets a typed rate rejection.
+                outcomes = self._serve_queries(qserve, [
+                    ("SELECT COUNT(*) FROM clogs", "hot"),
+                    ("SELECT COUNT(*) FROM clogs", "hot"),
+                    ("SELECT COUNT(*) FROM clogs", "hot"),
+                ])
+                assert isinstance(outcomes[-1], AdmissionRejected)
+
+                for name, labels in QSERVE_METRIC_LABELS.items():
+                    assert cap.registry.label_names(name) == \
+                        labels, name
+                assert QSERVE_SPANS <= set(cap.exporter.names())
+
+                admitted = cap.registry.get(
+                    "repro_qserve_admitted_total")
+                assert admitted.value(tenant="alpha") == 2
+                assert admitted.value(tenant="hot") == 2
+                rejected = cap.registry.get(
+                    "repro_qserve_rejected_total")
+                assert rejected.value(tenant="hot", reason="rate") == 1
+                batched = cap.registry.get("repro_qserve_batched_total")
+                assert batched.value(outcome="proven") == 2
+                cache = cap.registry.get("repro_qserve_cache_total")
+                assert cache.value(tier="memory", result="hit") >= 2
+                assert cache.value(tier="memory", result="miss") >= 2
+                assert cap.registry.get(
+                    "repro_qserve_inflight").value() == 0
+
+                # Span shape: every submit opens qserve.admit; the
+                # batch span carries its strategy.
+                admits = cap.exporter.by_name("qserve.admit")
+                assert len(admits) == 5
+                assert {s.attributes["outcome"] for s in admits} >= \
+                    {"queued", "cached", "rejected:rate"}
+                (batch_span,) = cap.exporter.by_name("qserve.batch")
+                assert batch_span.attributes["strategy"] == "batched"
+                assert batch_span.attributes["size"] == 2
+        finally:
+            service.close()
+
+    def test_metrics_wire_message_exposes_qserve_names(self):
+        from repro.net import ProverServer, QueryClient
+        from repro.qserve import QueryService
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        store, bulletin, _ = make_committed_records(30, seed=22)
+        service = ProverService(store, bulletin, pool_backend="thread",
+                                prove_workers=2)
+        service.aggregate_all_committed()
+        qserve = QueryService(service, tenant_rate=2.0,
+                              tenant_burst=2.0, batch=True,
+                              batch_window=0.2)
+        with obs.capture():
+            server = ProverServer(service, qserve=qserve)
+            try:
+                with server:
+                    # Two concurrent wire queries land in one batch
+                    # window and prove through the shared scan.
+                    def ask(sql):
+                        with QueryClient(server.host,
+                                         server.port) as client:
+                            return client.query(sql, tenant="alpha")
+
+                    with ThreadPoolExecutor(2) as pool:
+                        answers = list(pool.map(ask, [
+                            "SELECT COUNT(*) FROM clogs",
+                            "SELECT SUM(octets) FROM clogs"]))
+                    assert len(answers) == 2
+                    with QueryClient(server.host,
+                                     server.port) as client:
+                        client.query("SELECT COUNT(*) FROM clogs",
+                                     tenant="hot")
+                        client.query("SELECT COUNT(*) FROM clogs",
+                                     tenant="hot")
+                        with pytest.raises(Exception):
+                            client.query("SELECT COUNT(*) FROM clogs",
+                                         tenant="hot")
+                        snapshot = client.fetch_metrics()
+                        status = client.fetch_status()
+            finally:
+                service.close()
+
+            wire_names = {entry["name"] for bucket in
+                          ("counters", "gauges", "histograms")
+                          for entry in snapshot["metrics"][bucket]}
+            assert set(QSERVE_METRIC_LABELS) <= wire_names
+            # STATUS carries the serving stats next to the service's.
+            qstats = status["qserve"]
+            assert qstats["max_inflight"] == 64
+            assert qstats["inflight"] == 0
+            assert qstats["cache"]["persistent"] is True

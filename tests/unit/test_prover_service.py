@@ -176,18 +176,25 @@ class TestQueries:
         service_b.aggregate_window(0)
         assert service_b.state.root != service_a.state.root
         # Same sql, same round index, diverged root: under the old
-        # (sql, round) key this update would collide.
-        service_b._query_cache.update(service_a._query_cache)
+        # (sql, round) key this seeding would collide.
+        service_b.query_cache.put(stale)
         fresh = service_b.answer_query(sql)
         assert fresh is not stale
         assert fresh.root == service_b.state.root
         assert fresh.scanned == len(service_b.state)
 
     def test_cache_key_carries_round_and_root(self):
+        from repro.qserve.cache import result_cache_key
         store, bulletin, _ = make_committed_records(30)
         service = ProverService(store, bulletin)
         service.aggregate_window(0)
         sql = "SELECT COUNT(*) FROM clogs"
-        service.answer_query(sql)
-        ((key, _),) = list(service._query_cache.items())
-        assert key == (sql, 0, service.state.root)
+        response = service.answer_query(sql)
+        # The key is derived from the response's own committed
+        # identity; a different round or root addresses a different
+        # entry.
+        hit = service.query_cache.get(sql, 0, service.state.root)
+        assert hit is response
+        key = result_cache_key(sql, 0, service.state.root)
+        assert key != result_cache_key(sql, 1, service.state.root)
+        assert key != result_cache_key(sql + " ", 0, service.state.root)
