@@ -1,0 +1,155 @@
+"""Cluster benchmarks: worker daemons vs the in-process pool.
+
+The remote backend buys fault isolation (a dead worker cannot take the
+coordinator down) and horizontal capacity; it pays in RPC framing and
+lease polling.  These benches price that trade and feed the CI
+regression gate (``check_regression.py`` / ``results/baseline.json``):
+
+* ``test_cluster_inprocess_round`` — the same round through the
+  in-process thread pool, the number remote proving is compared to;
+* ``test_cluster_remote_round`` — the round fanned out to two real
+  ``python -m repro worker`` daemons over the framed protocol;
+* ``test_cluster_recovery_after_kill`` — the acceptance scenario as a
+  number: SIGKILL one of two workers while it holds a lease mid-round
+  and measure wall clock until the round still closes (dead-node
+  detection + quarantine + re-dispatch included).
+
+Worker daemons are spawned through the compose-style harness in
+``examples/cluster`` — the benches measure the same fleet the demo
+and the chaos suite run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterOpts
+from repro.engine import ProvingEngine, ReceiptCache
+from repro.core.prover_service import ProverService
+
+from _workloads import committed_workload
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent
+                       / "examples" / "cluster"))
+from cluster_harness import ClusterHarness, WorkerDaemon  # noqa: E402
+
+CLUSTER_RECORDS = 1_500
+NUM_PARTITIONS = 4
+
+#: Bench timings: fail fast on the corpse, no long backoff tails.
+OPTS = ClusterOpts(poll_interval=0.02, request_timeout=5.0,
+                   probe_timeout=0.5, backoff_base=0.2,
+                   backoff_max=2.0, quarantine_after=1,
+                   lease_timeout=30.0)
+
+
+@pytest.fixture(scope="module")
+def window_inputs():
+    store, bulletin = committed_workload(CLUSTER_RECORDS)
+    return ProverService(store, bulletin).gather_window(0)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    with ClusterHarness([{"backend": "thread", "workers": 2},
+                         {"backend": "thread", "workers": 2}]) as harness:
+        yield harness
+
+
+def test_cluster_inprocess_round(benchmark, report, window_inputs):
+    """The comparison point: the identical round through the
+    in-process thread pool (no wire, no leases)."""
+
+    def local_round():
+        with ProvingEngine(backend="thread",
+                           cache=ReceiptCache()) as engine:
+            return engine.prove_round(window_inputs, NUM_PARTITIONS)
+
+    result = benchmark.pedantic(local_round, rounds=5, iterations=1,
+                                warmup_rounds=1)
+    assert len(result.partition_infos) == NUM_PARTITIONS
+    report.table(
+        "cluster-vs-local",
+        f"round over {CLUSTER_RECORDS} records "
+        f"({NUM_PARTITIONS} partitions): in-process vs worker fleet",
+        ["backend", "flows"])
+    report.row("cluster-vs-local", "thread (in-process)", result.size)
+
+
+def test_cluster_remote_round(benchmark, report, window_inputs, fleet):
+    """The same round fanned out to two worker daemons."""
+
+    def remote_round():
+        with ProvingEngine(nodes=fleet.endpoints, cluster_opts=OPTS,
+                           cache=ReceiptCache()) as engine:
+            assert engine.pool.backend == "remote"
+            return engine.prove_round(window_inputs, NUM_PARTITIONS)
+
+    result = benchmark.pedantic(remote_round, rounds=5, iterations=1,
+                                warmup_rounds=1)
+    assert len(result.partition_infos) == NUM_PARTITIONS
+    report.table(
+        "cluster-vs-local",
+        f"round over {CLUSTER_RECORDS} records "
+        f"({NUM_PARTITIONS} partitions): in-process vs worker fleet",
+        ["backend", "flows"])
+    report.row("cluster-vs-local",
+               f"remote ({len(fleet.endpoints)} daemons)", result.size)
+
+
+def test_cluster_recovery_after_kill(benchmark, report, window_inputs,
+                                     fleet):
+    """SIGKILL one worker mid-round; the measured time is the whole
+    story — proving, dead-node detection, quarantine, re-dispatch —
+    until the round closes anyway."""
+    survivor = fleet.endpoints[1]
+
+    def setup():
+        victim = WorkerDaemon({"backend": "thread", "workers": 2})
+        return (victim,), {}
+
+    def recover_round(victim):
+        with ProvingEngine(nodes=[victim.endpoint, survivor],
+                           cluster_opts=OPTS,
+                           cache=ReceiptCache()) as engine:
+            box = {}
+
+            def prove():
+                box["result"] = engine.prove_round(window_inputs,
+                                                   NUM_PARTITIONS)
+
+            thread = threading.Thread(target=prove)
+            thread.start()
+            # Kill the victim as soon as it holds work in flight (or
+            # immediately once dispatch has started racing us).
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline and thread.is_alive():
+                snap = engine.pool.snapshot().get("cluster", {})
+                nodes = {n["endpoint"]: n
+                         for n in snap.get("nodes", [])}
+                victim_node = nodes.get(victim.endpoint)
+                if victim_node and (victim_node["leases"] >= 1
+                                    or victim_node["jobs_ok"] >= 1):
+                    break
+                time.sleep(0.005)
+            victim.kill()
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+            victim.stop()
+            return box["result"]
+
+    result = benchmark.pedantic(recover_round, setup=setup,
+                                rounds=3, iterations=1)
+    assert len(result.partition_infos) == NUM_PARTITIONS
+    report.table(
+        "cluster-recovery",
+        "round completion with one of two workers SIGKILLed "
+        "mid-flight",
+        ["records", "partitions", "flows"])
+    report.row("cluster-recovery", CLUSTER_RECORDS, NUM_PARTITIONS,
+               result.size)

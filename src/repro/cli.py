@@ -89,6 +89,7 @@ def rebuild_service(db: pathlib.Path, bulletin_path: pathlib.Path,
                     restore: bool = False,
                     pool_backend: str | None = None,
                     prove_workers: int | None = None,
+                    prove_nodes: tuple[str, ...] | None = None,
                     query_partitions: int | None = None,
                     stream: bool | None = None,
                     stream_crossover: bool = False
@@ -107,6 +108,7 @@ def rebuild_service(db: pathlib.Path, bulletin_path: pathlib.Path,
                             auto_checkpoint=auto_checkpoint,
                             pool_backend=pool_backend,
                             prove_workers=prove_workers,
+                            prove_nodes=prove_nodes,
                             query_partitions=query_partitions,
                             stream=stream,
                             stream_crossover=stream_crossover)
@@ -226,11 +228,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.metrics:
         from .obs import runtime as obs_runtime
         obs_runtime.enable()
+    prove_nodes = None
+    if args.prove_nodes:
+        from .cluster import parse_nodes
+        prove_nodes = parse_nodes(args.prove_nodes)
     service = rebuild_service(args.db, args.bulletin, args.receipts,
                               auto_checkpoint=args.auto_checkpoint,
                               restore=args.restore,
                               pool_backend=args.pool_backend,
                               prove_workers=args.prove_workers,
+                              prove_nodes=prove_nodes,
                               query_partitions=args.query_partitions,
                               stream=args.stream or None,
                               stream_crossover=args.stream_crossover)
@@ -268,6 +275,53 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         service.close()
         service.store.close()
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run a proving worker daemon for a remote-backend pool.
+
+    Workers are untrusted by construction — the dispatcher re-verifies
+    every receipt before adoption — so they need no bulletin, no chain
+    state, and no shared filesystem.  An optional ``--db`` points at a
+    store whose checkpoint KV becomes a persistent receipt-cache tier
+    shared between restarts (and, if several workers point at the same
+    file, between workers).
+    """
+    import asyncio
+
+    from .cluster import WorkerServer
+    from .faults import FaultInjector
+    if args.metrics:
+        from .obs import runtime as obs_runtime
+        obs_runtime.enable()
+    store = None
+    if args.db is not None:
+        store = SqliteLogStore(str(args.db))
+    server = WorkerServer(
+        args.host, args.port,
+        backend=args.backend,
+        max_workers=args.workers,
+        store=store,
+        injector=FaultInjector.from_env(),
+        idle_timeout=args.idle_timeout)
+
+    async def run() -> None:
+        await server.start()
+        print(f"worker listening on {server.host}:{server.port} "
+              f"(backend={args.backend}"
+              + (", persistent cache" if store is not None else "")
+              + (", metrics on" if args.metrics else "") + ")",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 
@@ -516,9 +570,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "--pool-backend says otherwise); receipts are "
                         "reused via the content-addressed cache")
     p.add_argument("--pool-backend", default=None,
-                   choices=["serial", "thread", "process"],
+                   choices=["serial", "thread", "process", "remote"],
                    help="proving pool backend (implies the engine even "
                         "without --prove-workers)")
+    p.add_argument("--prove-nodes", default=None,
+                   metavar="HOST:PORT,HOST:PORT",
+                   help="dispatch proving to these `repro worker` "
+                        "daemons (implies --pool-backend=remote; "
+                        "REPRO_PROVE_NODES does the same)")
     p.add_argument("--query-partitions", type=int, default=None,
                    metavar="K",
                    help="answer queries as up to K partial proofs "
@@ -554,6 +613,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "it prices cheaper (tiny or single-batch "
                         "rounds)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("worker",
+                       help="run a proving worker daemon "
+                            "(repro.cluster)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks an ephemeral one; the bound "
+                        "port is printed on startup)")
+    p.add_argument("--backend", default="thread",
+                   choices=["serial", "thread", "process"],
+                   help="the worker's local proving pool backend")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="local pool width (default: backend default)")
+    p.add_argument("--db", type=pathlib.Path, default=None,
+                   help="optional store whose checkpoint KV backs a "
+                        "persistent receipt-cache tier")
+    p.add_argument("--idle-timeout", type=float, default=30.0)
+    p.add_argument("--metrics", action="store_true",
+                   help="enable the repro.obs registry "
+                        "(repro_cluster_worker_* counters)")
+    p.set_defaults(fn=cmd_worker)
 
     p = sub.add_parser("metrics",
                        help="dump an observability snapshot (JSON)")

@@ -1,0 +1,44 @@
+"""Distributed proving fabric: remote worker nodes for the engine.
+
+The paper decouples proving from the telemetry hot path because
+proving is the bottleneck; PR 4/5 parallelized it within one machine,
+and this package takes the next scale jump — shard proving across
+*nodes*.  The verified-computation trust model makes that safe with
+zero marginal trust: every :class:`~repro.engine.jobs.JobResult`
+carries a receipt, and the dispatcher re-verifies it before adoption,
+so worker nodes are fully untrusted commodity processes.
+
+Pieces:
+
+* :class:`WorkerServer` / ``repro worker`` — the daemon: an asyncio
+  front over a local :class:`~repro.engine.pool.ProverPool`, speaking
+  the ``work-pull``/``work-result``/``work-health`` wire kinds with
+  lease-keyed idempotency.
+* :class:`ClusterDispatcher` — the coordinator-side brain: lease
+  assignment, work stealing, Byzantine-result rejection, per-node
+  quarantine with exponential backoff + probe reinstatement, and
+  graceful degradation to an in-process fallback when every node is
+  down (``repro.cluster.pool`` has the full story).
+* :class:`WorkerClient` / :class:`NodeState` — the per-node transport
+  and health bookkeeping.
+
+Entry points: ``ProverPool(backend="remote", nodes=[...])``, the
+``REPRO_PROVE_NODES=host:port,...`` environment switch (which makes
+``remote`` the default backend), or ``repro serve --prove-nodes``.
+"""
+
+from .nodes import HEALTHY, QUARANTINED, NodeState, WorkerClient, parse_nodes
+from .pool import DETERMINISTIC_CODES, ClusterDispatcher, ClusterOpts
+from .worker import WorkerServer
+
+__all__ = [
+    "DETERMINISTIC_CODES",
+    "HEALTHY",
+    "QUARANTINED",
+    "ClusterDispatcher",
+    "ClusterOpts",
+    "NodeState",
+    "WorkerClient",
+    "WorkerServer",
+    "parse_nodes",
+]

@@ -1,0 +1,400 @@
+"""The cluster worker daemon: a lease-keyed proving server.
+
+A worker owns nothing but a :class:`~repro.engine.pool.ProverPool` and
+a lease table.  ``work-pull`` hands it a fully-described
+:class:`~repro.engine.jobs.ProofJob` under a dispatcher-chosen lease
+id; the worker acks immediately and proves in the background, and the
+dispatcher polls ``work-result`` until the lease reports ``done`` (a
+wire :class:`~repro.engine.jobs.JobResult`) or ``failed`` (a wire
+error code).  The ack-then-poll shape is what makes every message
+idempotent: a re-sent ``work-pull`` for a held lease is a duplicate
+ack, a re-sent ``work-result`` re-reads the table — so the dispatcher
+can retry, steal, and re-dispatch without ever double-running a lease
+on the same node.
+
+Trust model: the worker is *untrusted*.  Its results re-verify on the
+dispatcher before adoption, so a worker may be arbitrarily broken
+(or malicious) without compromising the telemetry chain — it can only
+waste its own lease.
+
+When constructed over a shared store (``repro worker --db``), the
+pool's :class:`~repro.engine.cache.ReceiptCache` persistent tier rides
+that store's checkpoint KV — any node can then serve any partition
+some other node (or the coordinator) already proved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Any
+
+from ..engine.cache import ReceiptCache
+from ..engine.jobs import JobResult, ProofJob
+from ..engine.pool import ProverPool
+from ..errors import FrameError, ProtocolError, ReproError
+from ..faults.wire import (
+    CORRUPT,
+    DELAY,
+    DELAY_SECONDS,
+    DISCONNECT,
+    DROP,
+    corrupt_payload,
+    frame_action,
+)
+from ..net.framing import (
+    DEFAULT_MAX_FRAME_SIZE,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from ..net.messages import (
+    INTERNAL_ERROR,
+    WORKER_KINDS,
+    Envelope,
+    WorkerMessageKind,
+    error_code_for,
+    error_response,
+    ok_response,
+)
+from ..obs import names as obs_names
+from ..obs import runtime as obs
+
+logger = logging.getLogger(__name__)
+
+#: Completed leases kept for idempotent re-fetch before eviction.
+DEFAULT_RETENTION = 256
+
+
+class _Lease:
+    __slots__ = ("lease_id", "guest_id", "future", "accepted_at",
+                 "deadline")
+
+    def __init__(self, lease_id: str, guest_id: str,
+                 future: "Future[JobResult]", lease_ms: int) -> None:
+        self.lease_id = lease_id
+        self.guest_id = guest_id
+        self.future = future
+        self.accepted_at = time.monotonic()
+        self.deadline = self.accepted_at + lease_ms / 1000.0
+
+
+class WorkerServer:
+    """Serve ``work-pull``/``work-result``/``work-health`` over TCP."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 backend: str = "thread",
+                 max_workers: int | None = None,
+                 store: Any = None,
+                 cache: ReceiptCache | None = None,
+                 injector: Any = None,
+                 max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+                 idle_timeout: float = 30.0,
+                 max_connections: int = 64,
+                 retention: int = DEFAULT_RETENTION) -> None:
+        if cache is None and store is not None:
+            cache = ReceiptCache(store=store)
+        self.pool = ProverPool(backend=backend, max_workers=max_workers,
+                               cache=cache)
+        # Wire-frame injector for the *response* path (net.frame site);
+        # the pool keeps its own engine.worker site separate.
+        self.injector = injector
+        self.host = host
+        self.port = port  # 0 until start() binds an ephemeral port
+        self.max_frame_size = max_frame_size
+        self.idle_timeout = idle_timeout
+        self.max_connections = max_connections
+        self.retention = retention
+        self.started_at = time.monotonic()
+        self.requests_served = 0
+        self._leases: "OrderedDict[str, _Lease]" = OrderedDict()
+        self._lease_lock = threading.Lock()
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_slots: asyncio.Semaphore | None = None
+        self._thread: threading.Thread | None = None
+        self._thread_loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ProtocolError("worker already started")
+        self._conn_slots = asyncio.Semaphore(self.max_connections)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("worker listening on %s:%d", self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        self.pool.shutdown(wait=False)
+
+    def start_background(self) -> "WorkerServer":
+        """Start on a daemon thread; returns once the port is bound."""
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._thread_loop = loop
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # surface bind errors
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(target=run, daemon=True,
+                                        name="repro-cluster-worker")
+        self._thread.start()
+        started.wait(timeout=10)
+        if failure:
+            self._thread.join()
+            self._thread = None
+            raise failure[0]
+        return self
+
+    def stop_background(self) -> None:
+        loop, thread = self._thread_loop, self._thread
+        if loop is None or thread is None:
+            return
+
+        async def shut_down() -> None:
+            await self.stop()
+            tasks = [t for t in asyncio.all_tasks()
+                     if t is not asyncio.current_task()]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        future = asyncio.run_coroutine_threadsafe(shut_down(), loop)
+        try:
+            future.result(timeout=10)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            self._thread = None
+            self._thread_loop = None
+
+    def __enter__(self) -> "WorkerServer":
+        return self.start_background()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop_background()
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        assert self._conn_slots is not None
+        peer = writer.get_extra_info("peername")
+        async with self._conn_slots:
+            try:
+                await self._serve_connection(reader, writer)
+            except asyncio.CancelledError:
+                pass  # server shutdown cancelled us mid-read
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # dispatcher vanished; nothing to tell it
+            except Exception:
+                logger.exception("worker connection %s crashed", peer)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        while True:
+            try:
+                payload = await asyncio.wait_for(
+                    read_frame(reader, self.max_frame_size),
+                    timeout=self.idle_timeout)
+            except asyncio.TimeoutError:
+                return  # idle/slow dispatcher: hang up
+            except (FrameError, ProtocolError) as exc:
+                # Unframeable or corrupted input: report once, then
+                # hang up — there is no frame boundary left to
+                # resynchronize on.  This is the server half of the
+                # corrupt-frame contract the net.frame chaos plans
+                # exercise.
+                await self._try_send(
+                    writer, error_response(0, "error",
+                                           error_code_for(exc),
+                                           str(exc)))
+                return
+            if payload is None:
+                return  # clean EOF
+            response = self._process(payload)
+            self.requests_served += 1
+            if not await self._send_response(writer, response):
+                return
+
+    async def _send_response(self, writer: asyncio.StreamWriter,
+                             response: Envelope) -> bool:
+        """Write one response, subject to injected frame behaviour.
+
+        Returns False when the connection should be dropped.
+        """
+        action = frame_action(self.injector)
+        if action == DROP:
+            return True  # the response vanishes; dispatcher times out
+        if action == DISCONNECT:
+            return False
+        if action == DELAY:
+            await asyncio.sleep(DELAY_SECONDS)
+        data = response.to_bytes()
+        if action == CORRUPT:
+            data = corrupt_payload(data)
+        try:
+            await asyncio.wait_for(
+                write_frame(writer, data, self.max_frame_size),
+                timeout=self.idle_timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    async def _try_send(self, writer: asyncio.StreamWriter,
+                        envelope: Envelope) -> None:
+        try:
+            writer.write(encode_frame(envelope.to_bytes(),
+                                      self.max_frame_size))
+            await asyncio.wait_for(writer.drain(),
+                                   timeout=self.idle_timeout)
+        except (OSError, asyncio.TimeoutError):
+            pass
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _process(self, payload: bytes) -> Envelope:
+        try:
+            envelope = Envelope.from_bytes(payload)
+        except ReproError as exc:
+            return error_response(0, "error", error_code_for(exc),
+                                  str(exc))
+        if envelope.type != "req":
+            return error_response(envelope.request_id, envelope.kind,
+                                  "bad-request",
+                                  f"expected a request envelope, got "
+                                  f"{envelope.type!r}")
+        if envelope.kind not in WORKER_KINDS:
+            return error_response(envelope.request_id, envelope.kind,
+                                  "bad-request",
+                                  f"unknown worker request kind "
+                                  f"{envelope.kind!r}")
+        try:
+            if envelope.kind == WorkerMessageKind.WORK_PULL.value:
+                body = self._handle_pull(envelope.body)
+            elif envelope.kind == WorkerMessageKind.WORK_RESULT.value:
+                body = self._handle_result(envelope.body)
+            else:
+                body = self._handle_health()
+        except ReproError as exc:
+            return error_response(envelope.request_id, envelope.kind,
+                                  error_code_for(exc), str(exc))
+        except Exception as exc:
+            logger.exception("internal error serving %s", envelope.kind)
+            return error_response(envelope.request_id, envelope.kind,
+                                  INTERNAL_ERROR,
+                                  f"{type(exc).__name__}: {exc}")
+        return ok_response(envelope.request_id, envelope.kind, body)
+
+    def _handle_pull(self, body: dict[str, Any]) -> dict[str, Any]:
+        lease_id = body.get("lease")
+        if not isinstance(lease_id, str) or not lease_id:
+            raise ProtocolError("work-pull needs a non-empty lease id")
+        lease_ms = body.get("lease_ms", 60_000)
+        if not isinstance(lease_ms, int) or lease_ms < 1:
+            raise ProtocolError("lease_ms must be a positive int")
+        wire = body.get("job")
+        if not isinstance(wire, dict):
+            raise ProtocolError("work-pull needs a job dict")
+        job = ProofJob.from_wire(wire)
+        with self._lease_lock:
+            if lease_id in self._leases:
+                # Idempotent re-send (the dispatcher retried after a
+                # transport blip): never double-run the lease.
+                return {"accepted": True, "lease": lease_id,
+                        "duplicate": True}
+            self._evict_done_locked()
+            future = self.pool.submit(job)
+            lease = _Lease(lease_id, job.guest_id, future, lease_ms)
+            self._leases[lease_id] = lease
+        future.add_done_callback(self._count_outcome)
+        return {"accepted": True, "lease": lease_id, "duplicate": False}
+
+    def _handle_result(self, body: dict[str, Any]) -> dict[str, Any]:
+        lease_id = body.get("lease")
+        if not isinstance(lease_id, str) or not lease_id:
+            raise ProtocolError("work-result needs a non-empty lease id")
+        with self._lease_lock:
+            lease = self._leases.get(lease_id)
+        if lease is None:
+            return {"state": "unknown", "lease": lease_id}
+        if not lease.future.done():
+            return {"state": "running", "lease": lease_id}
+        error = lease.future.exception()
+        if error is not None:
+            return {"state": "failed", "lease": lease_id,
+                    "code": error_code_for(error),
+                    "message": str(error)}
+        result = lease.future.result()
+        return {"state": "done", "lease": lease_id,
+                "result": result.to_wire()}
+
+    def _handle_health(self) -> dict[str, Any]:
+        with self._lease_lock:
+            leases = len(self._leases)
+            running = sum(1 for lease in self._leases.values()
+                          if not lease.future.done())
+        snapshot = self.pool.snapshot()
+        snapshot.update({
+            "status": "ok",
+            "endpoint": self.endpoint,
+            "leases": leases,
+            "running": running,
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "requests_served": self.requests_served,
+        })
+        return snapshot
+
+    # -- internals -----------------------------------------------------------
+
+    def _count_outcome(self, future: "Future[JobResult]") -> None:
+        outcome = "ok" if future.exception() is None else "error"
+        obs.registry().counter(obs_names.CLUSTER_WORKER_JOBS,
+                               ("outcome",)).inc(outcome=outcome)
+
+    def _evict_done_locked(self) -> None:
+        done = [lease_id for lease_id, lease in self._leases.items()
+                if lease.future.done()]
+        excess = len(done) - self.retention
+        for lease_id in done[:max(excess, 0)]:
+            del self._leases[lease_id]

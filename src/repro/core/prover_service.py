@@ -60,6 +60,7 @@ class ProverService:
                  query_cache_persist: bool = False,
                  pool_backend: str | None = None,
                  prove_workers: int | None = None,
+                 prove_nodes: Any = None,
                  query_partitions: int | None = None,
                  stream: bool | None = None,
                  stream_crossover: bool = False) -> None:
@@ -84,7 +85,7 @@ class ProverService:
         # pins its telemetry namespace).
         self.engine = self._build_engine(prover_opts, pool_backend,
                                          prove_workers, query_partitions,
-                                         stream)
+                                         stream, prove_nodes)
         prover = self.engine.prover(prover_opts) \
             if self.engine is not None else None
         # REPRO_QUERY_PARTITIONS only tunes a service that *already*
@@ -138,13 +139,17 @@ class ProverService:
                       pool_backend: str | None,
                       prove_workers: int | None,
                       query_partitions: int | None = None,
-                      stream: bool | None = None):
+                      stream: bool | None = None,
+                      prove_nodes: Any = None):
         backend = pool_backend
         if backend is None and prover_opts is not None:
             backend = prover_opts.pool_backend
         workers = prove_workers
         if workers is None and prover_opts is not None:
             workers = prover_opts.prove_workers
+        if backend is None and prove_nodes:
+            # An explicit node list opts into the cluster backend.
+            backend = "remote"
         if backend is None and workers is None \
                 and query_partitions is None and not stream:
             return None
@@ -157,13 +162,16 @@ class ProverService:
             backend = "thread"
         from ..engine import ProvingEngine
         # The receipt cache's persistent tier rides the store's
-        # checkpoint KV, so identical proofs replay across restarts.
+        # checkpoint KV, so identical proofs replay across restarts —
+        # and, for the remote backend, doubles as the shared tier any
+        # worker on the same store can serve partitions from.
         return ProvingEngine(
             policy=self.policy,
             prover_opts=prover_opts or ProverOpts.groth16(),
             backend=backend or "process",
             max_workers=workers,
-            store=self.store)
+            store=self.store,
+            nodes=prove_nodes)
 
     def close(self) -> None:
         """Release the engine's worker pool (if any)."""

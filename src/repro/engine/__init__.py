@@ -23,9 +23,11 @@ from .jobs import JobResult, ProofJob, execute_job, run_job_wire
 from .pool import (
     BACKENDS,
     ENV_BACKEND,
+    ENV_NODES,
     ENV_WORKERS,
     PooledProver,
     ProverPool,
+    env_nodes,
     resolve_pool_config,
 )
 from .scheduler import ProvingEngine, RoundOutcome, partition_windows
@@ -33,6 +35,7 @@ from .scheduler import ProvingEngine, RoundOutcome, partition_windows
 __all__ = [
     "BACKENDS",
     "ENV_BACKEND",
+    "ENV_NODES",
     "ENV_WORKERS",
     "JobResult",
     "PooledProver",
@@ -41,6 +44,7 @@ __all__ = [
     "ProvingEngine",
     "ReceiptCache",
     "RoundOutcome",
+    "env_nodes",
     "execute_job",
     "partition_windows",
     "resolve_pool_config",

@@ -1,4 +1,5 @@
-"""The prover pool: one submit API over serial/thread/process backends.
+"""The prover pool: one submit API over serial/thread/process/remote
+backends.
 
 ``submit()`` returns a :class:`concurrent.futures.Future` resolving to
 a :class:`~repro.engine.jobs.JobResult`.  The pool consults the
@@ -12,6 +13,13 @@ A crashed worker process breaks a ``ProcessPoolExecutor`` permanently;
 the pool translates that into a :class:`~repro.errors.ProofError` on
 the affected futures and **recreates the executor**, so one dead worker
 quarantines one round instead of stalling the deployment.
+
+The ``remote`` backend replaces the executor with a
+:class:`~repro.cluster.ClusterDispatcher` fanning jobs out to worker
+daemons (``repro worker``) listed in ``nodes=`` / ``REPRO_PROVE_NODES``
+— same futures, same cache-before-dispatch, same fault site; the
+cluster package adds leases, stealing, re-verification, quarantine and
+local-fallback degradation behind the same ``submit()``.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
-from ..errors import ConfigurationError, ProofError
+from ..errors import ConfigurationError, PoolShutdown, ProofError
 from ..obs import names as obs_names
 from ..obs import runtime as obs
 from ..serialization import decode
@@ -31,11 +39,12 @@ from ..zkvm.prover import ProverOpts
 from .cache import ReceiptCache
 from .jobs import JobResult, ProofJob, encode_job, execute_job, run_job_wire
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "remote")
 
 #: Environment knobs (the CLI flags' deployment-wide defaults).
 ENV_WORKERS = "REPRO_PROVE_WORKERS"
 ENV_BACKEND = "REPRO_PROVE_BACKEND"
+ENV_NODES = "REPRO_PROVE_NODES"
 
 
 def _worker_ignore_sigint() -> None:
@@ -64,6 +73,15 @@ def env_backend() -> str | None:
     return raw or None
 
 
+def env_nodes() -> tuple[str, ...] | None:
+    """``REPRO_PROVE_NODES=host:port,host:port`` — the cluster list."""
+    raw = (os.environ.get(ENV_NODES) or "").strip()
+    if not raw:
+        return None
+    from ..cluster.nodes import parse_nodes
+    return parse_nodes(raw)
+
+
 def resolve_pool_config(opts: ProverOpts | None = None,
                         backend: str | None = None,
                         max_workers: int | None = None,
@@ -86,6 +104,10 @@ def resolve_pool_config(opts: ProverOpts | None = None,
         chosen = opts.pool_backend
     if chosen is None:
         chosen = env_backend()
+    if chosen is None and env_nodes():
+        # A configured node list is an explicit cluster opt-in: fan
+        # out remotely unless something chose a backend outright.
+        chosen = "remote"
     if chosen is None:
         chosen = "process" if (from_env and workers) else default_backend
     if chosen not in BACKENDS:
@@ -101,7 +123,9 @@ class ProverPool:
     def __init__(self, backend: str = "thread",
                  max_workers: int | None = None,
                  cache: ReceiptCache | None = None,
-                 injector: Any | None = None) -> None:
+                 injector: Any | None = None,
+                 nodes: Any = None,
+                 cluster_opts: Any = None) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown pool backend {backend!r}; expected one of "
@@ -109,9 +133,20 @@ class ProverPool:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
         self.backend = backend
+        self.nodes: tuple[str, ...] | None = None
+        self.cluster_opts = cluster_opts
+        if backend == "remote":
+            resolved = tuple(nodes) if nodes else env_nodes()
+            if not resolved:
+                raise ConfigurationError(
+                    "the remote backend needs worker nodes: pass "
+                    f"nodes=[...] or set {ENV_NODES}=host:port,...")
+            self.nodes = resolved
         self.max_workers = max_workers or os.cpu_count() or 1
         if backend == "serial":
             self.max_workers = 1
+        if backend == "remote" and max_workers is None:
+            self.max_workers = max(1, len(self.nodes))
         self.cache = cache
         if injector is None:
             from ..faults.injector import NULL_INJECTOR
@@ -119,6 +154,7 @@ class ProverPool:
         self.injector = injector
         self._executor: ThreadPoolExecutor | ProcessPoolExecutor | None \
             = None
+        self._cluster: Any = None  # lazy ClusterDispatcher (remote)
         self._lock = threading.Lock()
         self._in_flight = 0
         self._jobs_done = 0
@@ -137,9 +173,12 @@ class ProverPool:
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
             executor, self._executor = self._executor, None
+            cluster, self._cluster = self._cluster, None
             self._closed = True
         if executor is not None:
             executor.shutdown(wait=wait)
+        if cluster is not None:
+            cluster.shutdown(wait=wait)
 
     # -- submission ----------------------------------------------------------
 
@@ -147,7 +186,7 @@ class ProverPool:
         """Queue one job; cache hits resolve immediately."""
         with self._lock:
             if self._closed:
-                raise ProofError("prover pool is shut down")
+                raise PoolShutdown("prover pool is shut down")
         registry = obs.registry()
         registry.gauge(obs_names.ENGINE_WORKERS).set(self.max_workers)
         outer: Future[JobResult] = Future()
@@ -212,13 +251,19 @@ class ProverPool:
                 "jobs_failed": self._jobs_failed,
                 "jobs_cached": self._jobs_cached,
             }
+            cluster = self._cluster
         out["cache"] = self.cache.stats() if self.cache is not None \
             else None
+        if self.backend == "remote":
+            out["cluster"] = cluster.snapshot() if cluster is not None \
+                else {"nodes": [], "degraded": False, "leases": 0}
         return out
 
     # -- internals -----------------------------------------------------------
 
     def _dispatch(self, job: ProofJob) -> "Future[Any]":
+        if self.backend == "remote":
+            return self._ensure_cluster().dispatch(job)
         executor = self._ensure_executor()
         if self.backend == "thread":
             return executor.submit(execute_job, job)
@@ -228,10 +273,24 @@ class ProverPool:
     def _ensure_executor(self) -> ThreadPoolExecutor | ProcessPoolExecutor:
         with self._lock:
             if self._closed:
-                raise ProofError("prover pool is shut down")
+                raise PoolShutdown("prover pool is shut down")
             if self._executor is None:
                 self._executor = self._make_executor()
             return self._executor
+
+    def _ensure_cluster(self) -> Any:
+        with self._lock:
+            if self._closed:
+                raise PoolShutdown("prover pool is shut down")
+            if self._cluster is None:
+                from ..cluster import ClusterDispatcher
+                self._cluster = ClusterDispatcher(
+                    self.nodes, opts=self.cluster_opts,
+                    injector=self.injector
+                    if self.injector is not None
+                    and getattr(self.injector, "enabled", False)
+                    else None)
+            return self._cluster
 
     def _make_executor(self) -> ThreadPoolExecutor | ProcessPoolExecutor:
         if self.backend == "thread":

@@ -80,17 +80,22 @@ class ProvingEngine:
                  max_workers: int | None = None,
                  cache: ReceiptCache | None = None,
                  store: Any = None,
-                 injector: Any | None = None) -> None:
+                 injector: Any | None = None,
+                 nodes: Any = None,
+                 cluster_opts: Any = None) -> None:
         from ..core.policy import DEFAULT_POLICY
         self.policy = policy or DEFAULT_POLICY
         self.opts = prover_opts or ProverOpts.succinct()
+        if nodes and backend is None:
+            backend = "remote"
         backend, workers = resolve_pool_config(
             self.opts, backend=backend, max_workers=max_workers)
         if cache is None:
             cache = ReceiptCache(store=store)
         self.cache = cache
         self.pool = ProverPool(backend=backend, max_workers=workers,
-                               cache=cache, injector=injector)
+                               cache=cache, injector=injector,
+                               nodes=nodes, cluster_opts=cluster_opts)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -105,6 +105,26 @@ class ChainError(ProofError):
     """The aggregation proof chain is broken (§4.1 step 1)."""
 
 
+class PoolShutdown(ProofError):
+    """A job was submitted to a :class:`~repro.engine.pool.ProverPool`
+    after ``shutdown()``.
+
+    Typed (rather than a bare :class:`ProofError`) so schedulers can
+    tell "the pool is gone, stop submitting" apart from "this proof
+    failed" — the former is a lifecycle bug at the call site, the
+    latter a per-job outcome worth retrying or quarantining.
+    """
+
+
+class ClusterUnavailable(ProofError):
+    """No cluster node could take a job and local fallback is disabled.
+
+    Only raised when :class:`~repro.cluster.ClusterDispatcher` is
+    configured with ``local_fallback=False``; the default
+    configuration degrades to in-process proving instead.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Operational errors
 # ---------------------------------------------------------------------------
@@ -196,6 +216,23 @@ class AdmissionRejected(NetworkError):
     can tell "slow down and retry later" apart from every other
     failure; the server never queues such a request.
     """
+
+
+class FrameFault(NetworkError):
+    """An injected wire-frame *behaviour* (repro.faults ``net.frame``).
+
+    Unlike every other injected error this is **control flow, not an
+    outcome**: the fault site raises it to tell the transport wrapper
+    *what to do to the frame* (``action`` is one of ``drop``/``delay``/
+    ``corrupt``/``disconnect``), and the wrapper translates the action
+    into real wire behaviour whose consequences (timeouts, resets,
+    decode failures) are what the code under test must survive.  It
+    must never escape :func:`repro.faults.wire.frame_action`.
+    """
+
+    def __init__(self, action: str, message: str = "") -> None:
+        self.action = action
+        super().__init__(message or f"injected frame fault: {action}")
 
 
 class RetryExhausted(NetworkError):

@@ -21,6 +21,7 @@ from .plan import (
     BULLETIN_GET,
     ERROR_KINDS,
     KNOWN_SITES,
+    NET_FRAME,
     NET_TRANSPORT,
     PROVER_PROVE,
     STORE_ROUTER_IDS,
@@ -29,6 +30,7 @@ from .plan import (
     FaultPlan,
     FaultSpec,
 )
+from .wire import FRAME_ACTIONS, corrupt_payload, frame_action
 from .wrappers import (
     FaultyAggregator,
     FaultyBulletin,
@@ -41,7 +43,9 @@ __all__ = [
     "ENV_PLAN",
     "ENV_SEED",
     "ERROR_KINDS",
+    "FRAME_ACTIONS",
     "KNOWN_SITES",
+    "NET_FRAME",
     "NET_TRANSPORT",
     "NULL_INJECTOR",
     "PROVER_PROVE",
@@ -54,5 +58,7 @@ __all__ = [
     "FaultyAggregator",
     "FaultyBulletin",
     "FaultyLogStore",
+    "corrupt_payload",
+    "frame_action",
     "inject_faults",
 ]

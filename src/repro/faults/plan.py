@@ -23,6 +23,7 @@ from typing import Callable
 from ..errors import (
     ConfigurationError,
     ConnectionFailed,
+    FrameFault,
     GuestAbort,
     MissingCommitment,
     ProofError,
@@ -43,6 +44,7 @@ BULLETIN_GET = "bulletin.get"
 PROVER_PROVE = "prover.prove"
 NET_TRANSPORT = "net.transport"
 ENGINE_WORKER = "engine.worker"
+NET_FRAME = "net.frame"
 
 KNOWN_SITES = frozenset({
     STORE_WINDOW_BLOBS,
@@ -52,6 +54,7 @@ KNOWN_SITES = frozenset({
     PROVER_PROVE,
     NET_TRANSPORT,
     ENGINE_WORKER,
+    NET_FRAME,
 })
 
 # -- error kinds -------------------------------------------------------------
@@ -68,6 +71,16 @@ ERROR_KINDS: dict[str, Callable[[str], Exception]] = {
     "guest-abort": lambda msg: GuestAbort(msg),
     "connection": lambda msg: ConnectionFailed(msg),
     "timeout": lambda msg: RequestTimeout(msg),
+    # Wire-frame *behaviours* for the net.frame site: the raised
+    # FrameFault is control flow consumed by repro.faults.wire —
+    # the transport turns the action into a real dropped/delayed/
+    # corrupted frame or a hard disconnect, and the code under test
+    # sees only the organic consequences (timeouts, resets, decode
+    # failures), never the marker exception itself.
+    "drop": lambda msg: FrameFault("drop", msg),
+    "delay": lambda msg: FrameFault("delay", msg),
+    "corrupt": lambda msg: FrameFault("corrupt", msg),
+    "disconnect": lambda msg: FrameFault("disconnect", msg),
 }
 
 

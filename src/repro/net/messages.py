@@ -51,8 +51,10 @@ from ..errors import (
     AdmissionRejected,
     ChainError,
     FrameTooLarge,
+    GuestAbort,
     IntegrityError,
     MissingCommitment,
+    PoolShutdown,
     ProofError,
     ProtocolError,
     QueryError,
@@ -85,6 +87,37 @@ class MessageKind(str, enum.Enum):
 
 
 REQUEST_KINDS = frozenset(kind.value for kind in MessageKind)
+
+
+class WorkerMessageKind(str, enum.Enum):
+    """Request kinds a cluster *worker daemon* dispatches on.
+
+    The prover-facing kinds above serve verifiers and routers; these
+    serve exactly one caller — the cluster dispatcher inside a remote
+    :class:`~repro.engine.pool.ProverPool`:
+
+    =================  =====================================================
+    ``work-pull``      ``{job, lease, lease_ms, capture_obs?}`` → the worker
+                       accepts the :class:`~repro.engine.jobs.ProofJob`
+                       under the caller-chosen lease id and starts proving
+                       in the background; the ack ``{accepted, lease,
+                       duplicate}`` returns immediately (``duplicate`` when
+                       the lease was already held — re-sends are idempotent)
+    ``work-result``    ``{lease}`` → ``{state: "running"}``,
+                       ``{state: "done", result}``, ``{state: "failed",
+                       code, message}``, or ``{state: "unknown"}`` when the
+                       worker never saw (or already evicted) the lease
+    ``work-health``    ``{}`` → liveness probe: pool snapshot, lease count,
+                       uptime — the dispatcher's quarantine/reinstate signal
+    =================  =====================================================
+    """
+
+    WORK_PULL = "work-pull"
+    WORK_RESULT = "work-result"
+    WORK_HEALTH = "work-health"
+
+
+WORKER_KINDS = frozenset(kind.value for kind in WorkerMessageKind)
 
 
 @dataclass(frozen=True)
@@ -162,7 +195,9 @@ _CODE_TABLE: tuple[tuple[str, type[ReproError]], ...] = (
     ("query-syntax", QuerySyntaxError),
     ("query", QueryError),
     ("chain", ChainError),
+    ("guest-abort", GuestAbort),
     ("verification", VerificationError),
+    ("pool-shutdown", PoolShutdown),
     ("proof", ProofError),
     ("storage", StorageError),
     ("frame-too-large", FrameTooLarge),

@@ -94,7 +94,11 @@ def call_with_retry(fn: Callable[[], T], policy: RetryPolicy,
     Non-retryable exceptions propagate immediately.  When every attempt
     fails with a retryable error, raises
     :class:`~repro.errors.RetryExhausted` with the last error chained
-    as ``__cause__``.  ``rng`` and ``sleep`` are injectable for
+    as ``__cause__``.  A single-attempt policy (``max_attempts=1``)
+    never retried anything, so its one failure propagates *unwrapped* —
+    callers that do their own retrying (the cluster dispatcher's
+    per-node failure classification) need the typed transport error,
+    not a wrapper.  ``rng`` and ``sleep`` are injectable for
     deterministic tests.
     """
     last_error: Exception | None = None
@@ -108,5 +112,7 @@ def call_with_retry(fn: Callable[[], T], policy: RetryPolicy,
             if attempt + 1 < policy.max_attempts:
                 sleep(policy.delay(attempt, rng))
     assert last_error is not None
+    if policy.max_attempts == 1:
+        raise last_error
     raise RetryExhausted(policy.max_attempts, last_error) \
         from last_error

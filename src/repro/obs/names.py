@@ -30,6 +30,7 @@ SPAN_STREAM_DELTA = "stream.delta"
 SPAN_STREAM_FOLD = "stream.fold"
 SPAN_QSERVE_ADMIT = "qserve.admit"
 SPAN_QSERVE_BATCH = "qserve.batch"
+SPAN_CLUSTER_DISPATCH = "cluster.dispatch"
 
 SPAN_NAMES = frozenset({
     SPAN_EXECUTE,
@@ -51,6 +52,7 @@ SPAN_NAMES = frozenset({
     SPAN_STREAM_FOLD,
     SPAN_QSERVE_ADMIT,
     SPAN_QSERVE_BATCH,
+    SPAN_CLUSTER_DISPATCH,
 })
 
 # -- metric names (name -> declared label names) -----------------------------
@@ -105,6 +107,15 @@ QSERVE_REJECTED = "repro_qserve_rejected_total"
 QSERVE_BATCHED = "repro_qserve_batched_total"
 QSERVE_CACHE = "repro_qserve_cache_total"
 QSERVE_INFLIGHT = "repro_qserve_inflight"
+
+# distributed proving fabric (remote pool backend + worker daemons)
+CLUSTER_JOBS = "repro_cluster_jobs_total"
+CLUSTER_STEALS = "repro_cluster_steals_total"
+CLUSTER_DUPLICATES = "repro_cluster_duplicates_total"
+CLUSTER_FALLBACK = "repro_cluster_fallback_total"
+CLUSTER_NODES = "repro_cluster_nodes"
+CLUSTER_DEGRADED = "repro_cluster_degraded"
+CLUSTER_WORKER_JOBS = "repro_cluster_worker_jobs_total"
 
 # query proving
 QUERY_PROOFS = "repro_query_proofs_total"
@@ -167,6 +178,13 @@ METRIC_LABELS: dict[str, tuple[str, ...]] = {
     QSERVE_BATCHED: ("outcome",),
     QSERVE_CACHE: ("tier", "result"),
     QSERVE_INFLIGHT: (),
+    CLUSTER_JOBS: ("node", "outcome"),
+    CLUSTER_STEALS: (),
+    CLUSTER_DUPLICATES: (),
+    CLUSTER_FALLBACK: (),
+    CLUSTER_NODES: ("state",),
+    CLUSTER_DEGRADED: (),
+    CLUSTER_WORKER_JOBS: ("outcome",),
     QUERY_PROOFS: (),
     QUERY_SECONDS: (),
     QUERY_PARTITIONS: (),

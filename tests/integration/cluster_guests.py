@@ -1,0 +1,38 @@
+"""Guests for the cluster chaos suite.
+
+Worker daemons run in separate processes, so these guests live in an
+importable module: a dispatched :class:`~repro.engine.jobs.ProofJob`
+records ``guest_module`` and the worker re-registers the guest by
+importing it (the same fallback ``execute_job`` uses for the process
+backend).
+
+``slow_guest`` sleeps inside the guest body so chaos tests can hold a
+lease *in flight* long enough to SIGKILL the node that owns it —
+simulated proving is otherwise far too fast to catch mid-window.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.guest_programs import register_guest
+from repro.zkvm import GuestProgram
+
+
+def _echo_fn(env):
+    value = env.read()
+    env.tick(100)
+    env.commit({"echo": value})
+
+
+echo_guest = register_guest(GuestProgram(_echo_fn, name="chaos/echo"))
+
+
+def _slow_fn(env):
+    value = env.read()
+    time.sleep(0.4)
+    env.tick(100)
+    env.commit({"echo": value})
+
+
+slow_guest = register_guest(GuestProgram(_slow_fn, name="chaos/slow"))

@@ -19,6 +19,32 @@ def test_examples_exist():
     assert len(EXAMPLES) >= 8
 
 
+def test_cluster_harness_smoke(tmp_path, capsys):
+    """The compose-style harness brings a declared fleet up, proves a
+    round over the wire, and tears it down."""
+    import json
+    import sys
+
+    sys.path.insert(0, str(EXAMPLES_DIR / "cluster"))
+    try:
+        from cluster_harness import ClusterHarness, load_topology, \
+            run_demo
+    finally:
+        sys.path.pop(0)
+    topology_path = tmp_path / "topology.json"
+    topology_path.write_text(json.dumps({
+        "workers": [{"backend": "thread", "workers": 2},
+                    {"backend": "serial"}],
+        "windows": 1, "flows_per_window": 4}))
+    topology = load_topology(topology_path)
+    with ClusterHarness(topology["workers"]) as harness:
+        assert len(harness.endpoints) == 2
+        rounds = run_demo(harness.endpoints, topology)
+    assert rounds == 1
+    out = capsys.readouterr().out
+    assert "chain verifies: 1 rounds" in out
+
+
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
 def test_example_main_runs(path: pathlib.Path, capsys):
     spec = importlib.util.spec_from_file_location(

@@ -1,0 +1,189 @@
+"""Property tests: remote proving can never change what is proven.
+
+The cluster's central claim mirrors the engine's cache claim: fanning
+jobs out to untrusted worker daemons — including through node death,
+lease stealing and re-dispatch — yields receipts and journals
+*byte-identical* to local serial execution, for arbitrary job mixes
+and round layouts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterOpts, WorkerServer
+from repro.commitments import window_digest
+from repro.core.aggregation import RouterWindowInput
+from repro.core.guest_programs import merge_guest, register_guest
+from repro.engine import ProofJob, ProverPool, ProvingEngine, execute_job
+from repro.netflow.records import FlowKey, NetFlowRecord
+from repro.zkvm import ExecutorEnvBuilder, GuestProgram, verify_receipt
+
+
+def _echo_fn(env):
+    value = env.read()
+    env.tick(50)
+    env.commit({"echo": value})
+
+
+echo_guest = register_guest(GuestProgram(_echo_fn, name="props/echo"))
+
+FAST = ClusterOpts(poll_interval=0.02, request_timeout=2.0,
+                   probe_timeout=0.5, backoff_base=0.05,
+                   backoff_max=0.2, quarantine_after=1)
+
+
+def echo_job(value):
+    builder = ExecutorEnvBuilder()
+    builder.write(value)
+    return ProofJob.from_parts(echo_guest, builder.build())
+
+
+def record(router_id, sport, packets, byte_count):
+    return NetFlowRecord(
+        router_id=router_id,
+        key=FlowKey(src_addr=f"10.0.{sport % 250}.1",
+                    dst_addr="10.0.0.254",
+                    src_port=sport, dst_port=443, protocol=6),
+        packets=packets, octets=byte_count,
+        first_switched_ms=1_000, last_switched_ms=2_000)
+
+
+def build_inputs(layout):
+    inputs = []
+    for index, (n_records, seed) in enumerate(layout):
+        router_id = f"r{index + 1}"
+        blobs = tuple(
+            record(router_id, sport=1_000 + j,
+                   packets=(seed + j) % 1_000 + 1,
+                   byte_count=((seed * 7 + j) % 50_000) + 40).to_bytes()
+            for j in range(n_records))
+        inputs.append(RouterWindowInput(
+            router_id=router_id, window_index=0,
+            commitment=window_digest(list(blobs)), blobs=blobs))
+    return inputs
+
+
+job_values = st.lists(
+    st.one_of(
+        st.text(min_size=0, max_size=12),
+        st.integers(min_value=-2**31, max_value=2**31),
+        st.dictionaries(st.text(min_size=1, max_size=4),
+                        st.integers(min_value=0, max_value=999),
+                        max_size=3),
+    ),
+    min_size=1, max_size=6)
+
+
+class BlackholeWorker(WorkerServer):
+    """Accepts every lease, never finishes one: the node the stealing
+    machinery exists for."""
+
+    def _handle_result(self, body):
+        reply = super()._handle_result(body)
+        if reply.get("state") in ("done", "failed"):
+            reply = {"state": "running", "lease": body.get("lease")}
+        return reply
+
+
+class TestRemoteIdentity:
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(job_values)
+    def test_remote_mix_byte_identical_to_serial(self, values):
+        """Arbitrary job mixes: every remote receipt and journal is
+        byte-for-byte what local execution produces."""
+        with WorkerServer() as w1, WorkerServer() as w2:
+            with ProverPool(backend="remote",
+                            nodes=[w1.endpoint, w2.endpoint],
+                            cluster_opts=FAST) as pool:
+                futures = [pool.submit(echo_job(v)) for v in values]
+                remote = [f.result(timeout=60) for f in futures]
+        for value, result in zip(values, remote):
+            local = execute_job(echo_job(value))
+            assert result.receipt.to_json_bytes() == \
+                local.receipt.to_json_bytes()
+            assert result.receipt.journal == local.receipt.journal
+            verify_receipt(result.receipt, echo_guest.image_id)
+
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(job_values)
+    def test_identity_survives_mid_run_node_death(self, values):
+        """A node dying between submissions only re-routes work; the
+        bytes cannot change."""
+        victim = WorkerServer().start_background()
+        with WorkerServer() as survivor:
+            with ProverPool(backend="remote",
+                            nodes=[victim.endpoint, survivor.endpoint],
+                            cluster_opts=FAST) as pool:
+                first = pool.submit(echo_job(values[0]))
+                first.result(timeout=60)
+                victim.stop_background()  # dies mid-run
+                futures = [pool.submit(echo_job(v)) for v in values]
+                remote = [f.result(timeout=60) for f in futures]
+        for value, result in zip(values, remote):
+            local = execute_job(echo_job(value))
+            assert result.receipt.to_json_bytes() == \
+                local.receipt.to_json_bytes()
+
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(job_values)
+    def test_identity_survives_steal_and_redispatch(self, values):
+        """A worker that sits on its leases forces the monitor to
+        steal; the re-dispatched results are still exact."""
+        opts = ClusterOpts(poll_interval=0.02, request_timeout=2.0,
+                           probe_timeout=0.5, backoff_base=0.05,
+                           backoff_max=0.2, quarantine_after=1,
+                           lease_timeout=2.0, steal_factor=0.1)
+        # Pad the mix so round-robin provably hands the blackhole at
+        # least one lease even for single-value examples.
+        payloads = [("idx", i, v)
+                    for i, v in enumerate(values + ["pad-a", "pad-b",
+                                                    "pad-c"])]
+        with BlackholeWorker() as hole, WorkerServer() as honest:
+            with ProverPool(backend="remote",
+                            nodes=[hole.endpoint, honest.endpoint],
+                            cluster_opts=opts) as pool:
+                futures = [pool.submit(echo_job(p)) for p in payloads]
+                remote = [f.result(timeout=120) for f in futures]
+                snap = pool.snapshot()["cluster"]
+        for payload, result in zip(payloads, remote):
+            local = execute_job(echo_job(payload))
+            assert result.receipt.to_json_bytes() == \
+                local.receipt.to_json_bytes()
+        # With half the fleet black-holing leases, at least one steal
+        # (or lease-expiry re-dispatch) must have fired for the run to
+        # complete — and nothing may have been adopted twice.
+        assert snap["steals"] >= 1 or any(
+            n["jobs_failed"] >= 1 for n in snap["nodes"])
+
+
+class TestRemoteRoundIdentity:
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=3),
+                              st.integers(min_value=1, max_value=9_999)),
+                    min_size=1, max_size=3),
+           st.integers(min_value=1, max_value=3))
+    def test_engine_round_over_cluster_matches_serial(self, layout,
+                                                      num_partitions):
+        """Full engine rounds (partitions + merge) through the remote
+        backend reproduce the serial round's receipt exactly."""
+        inputs = build_inputs(layout)
+        with ProvingEngine(backend="serial") as engine:
+            local = engine.prove_round(inputs, num_partitions)
+        with WorkerServer() as w1, WorkerServer() as w2:
+            with ProvingEngine(nodes=[w1.endpoint, w2.endpoint],
+                               cluster_opts=FAST) as engine:
+                assert engine.pool.backend == "remote"
+                remote = engine.prove_round(inputs, num_partitions)
+        assert remote.receipt.to_wire() == local.receipt.to_wire()
+        assert remote.new_root == local.new_root
+        assert [i.receipt.to_wire() for i in remote.partition_infos] \
+            == [i.receipt.to_wire() for i in local.partition_infos]
+        verify_receipt(remote.receipt, merge_guest.image_id)

@@ -1,0 +1,438 @@
+"""Unit tests for repro.cluster: nodes, the worker daemon, dispatch.
+
+The cluster's promise mirrors the engine's: *where* a proof runs —
+this process, a healthy remote node, a flaky node that needed a
+re-dispatch, or the local fallback after every node died — never
+changes *what* it proves.  Receipts must come back byte-identical to
+local execution, Byzantine results must never be adopted, and no task
+may ever resolve twice.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.cluster import (
+    DETERMINISTIC_CODES,
+    HEALTHY,
+    QUARANTINED,
+    ClusterDispatcher,
+    ClusterOpts,
+    NodeState,
+    WorkerClient,
+    WorkerServer,
+    parse_nodes,
+)
+from repro.core.guest_programs import register_guest
+from repro.engine import ProofJob, ProverPool, execute_job
+from repro.errors import (
+    ClusterUnavailable,
+    ConfigurationError,
+    GuestAbort,
+    PoolShutdown,
+    ReproError,
+)
+from repro.storage import MemoryLogStore
+from repro.zkvm import ExecutorEnvBuilder, GuestProgram
+
+# -- guests ------------------------------------------------------------------
+
+
+def _echo_fn(env):
+    value = env.read()
+    env.tick(100)
+    env.commit({"echo": value})
+
+
+echo_guest = register_guest(GuestProgram(_echo_fn, name="cluster/echo"))
+
+
+def _abort_fn(env):
+    env.abort("cluster abort probe")
+
+
+abort_guest = register_guest(GuestProgram(_abort_fn,
+                                          name="cluster/abort"))
+
+
+def echo_job(value="hello"):
+    builder = ExecutorEnvBuilder()
+    builder.write(value)
+    return ProofJob.from_parts(echo_guest, builder.build())
+
+
+def abort_job():
+    return ProofJob.from_parts(abort_guest, ExecutorEnvBuilder().build())
+
+
+# Snappy dispatcher timings for tests; semantics identical to defaults.
+FAST = dict(poll_interval=0.02, request_timeout=2.0, probe_timeout=0.5,
+            backoff_base=0.05, backoff_max=0.2, lease_timeout=10.0)
+
+
+def free_endpoint() -> str:
+    """A localhost endpoint that refuses connections."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return f"127.0.0.1:{probe.getsockname()[1]}"
+
+
+def poll_done(client, lease_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        reply = client.poll_result(lease_id)
+        if reply["state"] != "running":
+            return reply
+        time.sleep(0.01)
+    raise AssertionError(f"lease {lease_id} never settled")
+
+
+# -- parse_nodes -------------------------------------------------------------
+
+
+class TestParseNodes:
+    def test_splits_and_strips(self):
+        assert parse_nodes(" 127.0.0.1:1 , 127.0.0.1:2 ") == \
+            ("127.0.0.1:1", "127.0.0.1:2")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_nodes(" , ")
+
+    def test_bad_endpoint_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_nodes("127.0.0.1:1,nonsense")
+
+
+# -- NodeState ---------------------------------------------------------------
+
+
+class TestNodeState:
+    def make(self, **kw):
+        kw.setdefault("quarantine_after", 2)
+        kw.setdefault("backoff_base", 0.5)
+        return NodeState("127.0.0.1:1", client=None, **kw)
+
+    def test_quarantines_after_consecutive_failures(self):
+        node = self.make()
+        assert node.record_failure("one") is False
+        assert node.state == HEALTHY
+        assert node.record_failure("two") is True
+        assert node.state == QUARANTINED
+        assert node.quarantined_until > time.monotonic() - 1
+
+    def test_success_resets_the_streak(self):
+        node = self.make()
+        node.record_failure("blip")
+        node.record_success()
+        assert node.consecutive_failures == 0
+        node.record_failure("blip again")
+        assert node.state == HEALTHY  # streak restarted
+
+    def test_backoff_grows_per_probe_failure(self):
+        node = self.make(backoff_base=0.5, backoff_multiplier=2.0,
+                         backoff_max=30.0)
+        node.record_failure("a")
+        node.record_failure("b")  # quarantined, level bumped
+        first = node.backoff()
+        node.probe_failed("still down")
+        assert node.backoff() > first
+
+    def test_backoff_is_capped(self):
+        node = self.make(backoff_base=0.5, backoff_max=2.0)
+        for _ in range(20):
+            node.probe_failed("down")
+        assert node.backoff() == 2.0
+
+    def test_rejection_quarantines_at_max_backoff(self):
+        node = self.make()
+        assert node.record_rejection("bad receipt") is True
+        assert node.state == QUARANTINED
+        assert node.backoff() == node.backoff_max
+        assert node.rejected == 1
+
+    def test_reinstate_restores_health(self):
+        node = self.make()
+        node.record_rejection("bad receipt")
+        node.reinstate()
+        assert node.state == HEALTHY
+        assert node.consecutive_failures == 0
+
+    def test_probe_due_respects_backoff(self):
+        node = self.make()
+        node.record_failure("a")
+        node.record_failure("b")
+        assert not node.probe_due(now=time.monotonic())
+        assert node.probe_due(now=node.quarantined_until + 0.001)
+
+    def test_snapshot_shape(self):
+        snap = self.make().snapshot()
+        assert snap["state"] == HEALTHY
+        assert {"endpoint", "jobs_ok", "jobs_failed", "rejected",
+                "leases", "backoff_seconds"} <= set(snap)
+
+
+# -- worker daemon protocol --------------------------------------------------
+
+
+class TestWorkerProtocol:
+    @pytest.fixture
+    def worker(self):
+        with WorkerServer(backend="thread", max_workers=2) as server:
+            client = WorkerClient(server.endpoint, timeout=5.0)
+            yield server, client
+            client.close()
+
+    def test_pull_then_poll_round_trip(self, worker):
+        server, client = worker
+        job = echo_job("round-trip")
+        ack = client.submit_job(job, "lease-1", 60_000)
+        assert ack == {"accepted": True, "lease": "lease-1",
+                       "duplicate": False}
+        reply = poll_done(client, "lease-1")
+        assert reply["state"] == "done"
+        from repro.engine import JobResult
+        result = JobResult.from_wire(reply["result"])
+        local = execute_job(echo_job("round-trip"))
+        assert result.receipt.to_json_bytes() == \
+            local.receipt.to_json_bytes()
+
+    def test_duplicate_pull_is_idempotent(self, worker):
+        server, client = worker
+        job = echo_job("idempotent")
+        client.submit_job(job, "lease-dup", 60_000)
+        again = client.submit_job(job, "lease-dup", 60_000)
+        assert again["duplicate"] is True
+        poll_done(client, "lease-dup")
+        # The lease ran exactly once despite two pulls.
+        assert server.pool.snapshot()["jobs_done"] == 1
+
+    def test_unknown_lease_reports_unknown(self, worker):
+        _, client = worker
+        assert client.poll_result("never-issued")["state"] == "unknown"
+
+    def test_deterministic_failure_reports_wire_code(self, worker):
+        _, client = worker
+        client.submit_job(abort_job(), "lease-abort", 60_000)
+        reply = poll_done(client, "lease-abort")
+        assert reply["state"] == "failed"
+        assert reply["code"] == "guest-abort"
+        assert reply["code"] in DETERMINISTIC_CODES
+
+    def test_health_probe_shape(self, worker):
+        server, client = worker
+        health = client.probe()
+        assert health["status"] == "ok"
+        assert health["endpoint"] == server.endpoint
+        assert {"leases", "running", "uptime_seconds",
+                "requests_served", "backend"} <= set(health)
+
+    def test_bad_lease_rejected(self, worker):
+        _, client = worker
+        with pytest.raises(ReproError):
+            client.submit_job(echo_job(), "", 60_000)
+
+    def test_unknown_kind_rejected(self, worker):
+        _, client = worker
+        with pytest.raises(ReproError):
+            client._request("status", {})
+
+    def test_shared_persistent_cache_tier(self):
+        """Two workers over one store: the second serves the first's
+        proof from the checkpoint-KV receipt-cache tier."""
+        store = MemoryLogStore()
+        job = echo_job("cache-across-nodes")
+        with WorkerServer(store=store) as first:
+            with WorkerClient(first.endpoint, timeout=5.0) as client:
+                client.submit_job(job, "lease-a", 60_000)
+                poll_done(client, "lease-a")
+        with WorkerServer(store=store) as second:
+            with WorkerClient(second.endpoint, timeout=5.0) as client:
+                client.submit_job(job, "lease-b", 60_000)
+                poll_done(client, "lease-b")
+            assert second.pool.snapshot()["jobs_cached"] == 1
+
+
+# -- the dispatcher ----------------------------------------------------------
+
+
+class LyingWorker(WorkerServer):
+    """Reports someone else's (verifiable but wrong-input) result."""
+
+    def _handle_result(self, body):
+        reply = super()._handle_result(body)
+        if reply.get("state") == "done":
+            forged = execute_job(echo_job("forged-payload"))
+            reply["result"] = forged.to_wire()
+        return reply
+
+
+class TestClusterDispatcher:
+    def test_fans_out_and_matches_local(self):
+        with WorkerServer() as w1, WorkerServer() as w2:
+            dispatcher = ClusterDispatcher(
+                [w1.endpoint, w2.endpoint], opts=ClusterOpts(**FAST))
+            try:
+                futures = [dispatcher.dispatch(echo_job(f"fan-{i}"))
+                           for i in range(6)]
+                results = [f.result(timeout=60) for f in futures]
+            finally:
+                dispatcher.shutdown()
+        for i, result in enumerate(results):
+            local = execute_job(echo_job(f"fan-{i}"))
+            assert result.receipt.to_json_bytes() == \
+                local.receipt.to_json_bytes()
+
+    def test_dead_node_is_quarantined_and_work_rerouted(self):
+        with WorkerServer() as alive:
+            dispatcher = ClusterDispatcher(
+                [free_endpoint(), alive.endpoint],
+                opts=ClusterOpts(quarantine_after=1, **FAST))
+            try:
+                results = [
+                    dispatcher.dispatch(echo_job(f"reroute-{i}"))
+                    .result(timeout=60) for i in range(4)]
+                snap = dispatcher.snapshot()
+            finally:
+                dispatcher.shutdown()
+        assert all(r.receipt is not None for r in results)
+        states = {n["endpoint"]: n["state"] for n in snap["nodes"]}
+        assert states[alive.endpoint] == HEALTHY
+        assert QUARANTINED in states.values()
+        assert not snap["degraded"]
+
+    def test_all_nodes_down_degrades_to_local_fallback(self):
+        dispatcher = ClusterDispatcher(
+            [free_endpoint(), free_endpoint()],
+            opts=ClusterOpts(quarantine_after=1, backoff_base=5.0,
+                             backoff_max=5.0, **{
+                                 k: v for k, v in FAST.items()
+                                 if not k.startswith("backoff")}))
+        try:
+            result = dispatcher.dispatch(
+                echo_job("degraded")).result(timeout=60)
+            assert dispatcher.degraded is True
+            snap = dispatcher.snapshot()
+        finally:
+            dispatcher.shutdown()
+        local = execute_job(echo_job("degraded"))
+        assert result.receipt.to_json_bytes() == \
+            local.receipt.to_json_bytes()
+        assert snap["degraded"] is True
+        assert snap["fallback_jobs"] >= 1
+
+    def test_no_fallback_raises_cluster_unavailable(self):
+        dispatcher = ClusterDispatcher(
+            [free_endpoint()],
+            opts=ClusterOpts(quarantine_after=1, local_fallback=False,
+                             retry_budget=1, backoff_base=5.0,
+                             backoff_max=5.0, **{
+                                 k: v for k, v in FAST.items()
+                                 if not k.startswith("backoff")}))
+        try:
+            future = dispatcher.dispatch(echo_job("unavailable"))
+            with pytest.raises(ClusterUnavailable):
+                future.result(timeout=60)
+        finally:
+            dispatcher.shutdown()
+
+    def test_deterministic_abort_propagates_without_blame(self):
+        with WorkerServer() as worker:
+            dispatcher = ClusterDispatcher(
+                [worker.endpoint], opts=ClusterOpts(**FAST))
+            try:
+                future = dispatcher.dispatch(abort_job())
+                with pytest.raises(GuestAbort):
+                    future.result(timeout=60)
+                snap = dispatcher.snapshot()
+            finally:
+                dispatcher.shutdown()
+        # The node told the truth about a bad job: still healthy.
+        assert snap["nodes"][0]["state"] == HEALTHY
+        assert snap["nodes"][0]["jobs_failed"] == 0
+
+    def test_byzantine_result_rejected_node_quarantined(self):
+        """A forged (wrong input commitment) result is never adopted:
+        the lying node is quarantined at max backoff and the job
+        re-proves on the ground-truth local fallback."""
+        with LyingWorker() as liar:
+            dispatcher = ClusterDispatcher(
+                [liar.endpoint],
+                opts=ClusterOpts(retry_budget=1, backoff_base=5.0,
+                                 backoff_max=5.0, **{
+                                     k: v for k, v in FAST.items()
+                                     if not k.startswith("backoff")}))
+            try:
+                result = dispatcher.dispatch(
+                    echo_job("the-truth")).result(timeout=60)
+                snap = dispatcher.snapshot()
+            finally:
+                dispatcher.shutdown()
+        local = execute_job(echo_job("the-truth"))
+        assert result.receipt.to_json_bytes() == \
+            local.receipt.to_json_bytes()
+        assert snap["rejections"] >= 1
+        assert snap["nodes"][0]["state"] == QUARANTINED
+        assert snap["nodes"][0]["rejected"] >= 1
+
+    def test_dispatch_after_shutdown_raises(self):
+        with WorkerServer() as worker:
+            dispatcher = ClusterDispatcher(
+                [worker.endpoint], opts=ClusterOpts(**FAST))
+            dispatcher.shutdown()
+            with pytest.raises(PoolShutdown):
+                dispatcher.dispatch(echo_job())
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ConfigurationError):
+            ClusterDispatcher([])
+
+
+# -- the engine's remote backend ---------------------------------------------
+
+
+class TestRemotePoolBackend:
+    def test_remote_pool_matches_direct_execution(self):
+        with WorkerServer() as w1, WorkerServer() as w2:
+            with ProverPool(backend="remote",
+                            nodes=[w1.endpoint, w2.endpoint],
+                            cluster_opts=ClusterOpts(**FAST)) as pool:
+                result = pool.submit(
+                    echo_job("via-remote")).result(timeout=60)
+                snap = pool.snapshot()
+        local = execute_job(echo_job("via-remote"))
+        assert result.receipt.to_json_bytes() == \
+            local.receipt.to_json_bytes()
+        assert snap["backend"] == "remote"
+        assert snap["cluster"]["degraded"] is False
+        assert len(snap["cluster"]["nodes"]) == 2
+
+    def test_cache_consulted_before_dispatch(self):
+        from repro.engine import ReceiptCache
+        with WorkerServer() as worker:
+            with ProverPool(backend="remote", nodes=[worker.endpoint],
+                            cache=ReceiptCache(),
+                            cluster_opts=ClusterOpts(**FAST)) as pool:
+                cold = pool.submit(echo_job("warm-me")).result(timeout=60)
+                warm = pool.submit(echo_job("warm-me")).result(timeout=60)
+        assert cold.cached is False
+        assert warm.cached is True
+        assert warm.receipt.to_wire() == cold.receipt.to_wire()
+
+    def test_env_nodes_configure_the_pool(self, monkeypatch):
+        with WorkerServer() as worker:
+            monkeypatch.setenv("REPRO_PROVE_NODES", worker.endpoint)
+            with ProverPool(backend="remote",
+                            cluster_opts=ClusterOpts(**FAST)) as pool:
+                assert pool.nodes == (worker.endpoint,)
+                result = pool.submit(
+                    echo_job("via-env")).result(timeout=60)
+        assert result.receipt is not None
+
+    def test_submit_after_shutdown_raises_typed(self):
+        with WorkerServer() as worker:
+            pool = ProverPool(backend="remote", nodes=[worker.endpoint])
+            pool.shutdown()
+            with pytest.raises(PoolShutdown):
+                pool.submit(echo_job())

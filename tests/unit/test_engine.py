@@ -300,6 +300,31 @@ class TestPoolConfig:
         with pytest.raises(ConfigurationError):
             resolve_pool_config(backend="gpu")
 
+    def test_env_nodes_selects_remote_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROVE_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_PROVE_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_PROVE_NODES",
+                           "127.0.0.1:7601,127.0.0.1:7602")
+        assert resolve_pool_config() == ("remote", None)
+
+    def test_explicit_backend_beats_env_nodes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROVE_NODES", "127.0.0.1:7601")
+        assert resolve_pool_config(backend="serial") == ("serial", None)
+
+    def test_env_nodes_parsed_and_validated(self, monkeypatch):
+        from repro.engine import env_nodes
+        monkeypatch.setenv("REPRO_PROVE_NODES",
+                           " 127.0.0.1:7601 , 127.0.0.1:7602 ")
+        assert env_nodes() == ("127.0.0.1:7601", "127.0.0.1:7602")
+        monkeypatch.setenv("REPRO_PROVE_NODES", "no-port")
+        with pytest.raises(ConfigurationError):
+            env_nodes()
+
+    def test_remote_backend_needs_nodes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROVE_NODES", raising=False)
+        with pytest.raises(ConfigurationError):
+            ProverPool(backend="remote")
+
     def test_bad_workers_rejected(self):
         with pytest.raises(ConfigurationError):
             ProverPool(backend="thread", max_workers=0)
@@ -360,8 +385,21 @@ class TestProverPool:
                 pool.submit(job).result(timeout=30)
             assert pool.snapshot()["jobs_failed"] == 1
 
-    def test_submit_after_shutdown_raises(self):
-        pool = ProverPool(backend="serial")
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_submit_after_shutdown_raises_typed(self, backend):
+        """Submitting to a shut-down pool must raise the typed
+        PoolShutdown (a ProofError subclass), never an opaque
+        executor-internal RuntimeError — callers race shutdown in the
+        daemon and cluster paths and need to catch it precisely."""
+        from repro.errors import PoolShutdown
+        pool = ProverPool(backend=backend, max_workers=1)
+        if backend != "process":
+            # warm the inner executor so shutdown exercises a live one
+            pool.submit(echo_job("warm")).result(timeout=30)
+        pool.shutdown()
+        with pytest.raises(PoolShutdown):
+            pool.submit(echo_job())
+        # idempotent: a second shutdown and submit behave the same
         pool.shutdown()
         with pytest.raises(ProofError):
             pool.submit(echo_job())
@@ -537,4 +575,4 @@ class TestProvingEngine:
         assert set(snap["cache"]) >= {"hits", "misses", "hit_rate"}
 
     def test_all_backends_exported(self):
-        assert BACKENDS == ("serial", "thread", "process")
+        assert BACKENDS == ("serial", "thread", "process", "remote")

@@ -100,13 +100,16 @@ class TestCallWithRetry:
         assert len(calls) == 1
 
     def test_no_retry_policy_makes_one_attempt(self):
+        """One attempt means nothing was exhausted: the typed
+        transport error must surface unwrapped so callers that do
+        their own retrying can classify it."""
         calls = []
 
         def always_down():
             calls.append(1)
             raise ConnectionFailed("refused")
 
-        with pytest.raises(RetryExhausted):
+        with pytest.raises(ConnectionFailed):
             call_with_retry(always_down, NO_RETRY)
         assert len(calls) == 1
 

@@ -600,3 +600,73 @@ class TestQServeContract:
             assert qstats["max_inflight"] == 64
             assert qstats["inflight"] == 0
             assert qstats["cache"]["persistent"] is True
+
+
+CLUSTER_METRIC_LABELS = {
+    "repro_cluster_jobs_total": ("node", "outcome"),
+    "repro_cluster_steals_total": (),
+    "repro_cluster_duplicates_total": (),
+    "repro_cluster_fallback_total": (),
+    "repro_cluster_nodes": ("state",),
+    "repro_cluster_degraded": (),
+    "repro_cluster_worker_jobs_total": ("outcome",),
+}
+
+CLUSTER_SPAN = "cluster.dispatch"
+
+
+class TestClusterContract:
+    """The remote-proving namespace, pinned like the others.
+
+    The cluster is explicit opt-in (``backend="remote"`` /
+    ``REPRO_PROVE_NODES``), so these names never appear for local
+    backends; when a dispatcher runs, the names and label sets below
+    are the wire-visible health contract STATUS and dashboards read.
+    """
+
+    def test_remote_round_emits_exact_names(self):
+        from repro.cluster import ClusterOpts, WorkerServer
+        from repro.core.guest_programs import register_guest
+        from repro.engine import ProofJob, ProverPool
+        from repro.zkvm import ExecutorEnvBuilder, GuestProgram
+
+        def _fn(env):
+            env.commit({"echo": env.read()})
+
+        guest = register_guest(GuestProgram(_fn, name="obs/cluster"))
+        builder = ExecutorEnvBuilder()
+        builder.write("contract")
+        job = ProofJob.from_parts(guest, builder.build())
+        with obs.capture() as cap:
+            with WorkerServer() as worker:
+                with ProverPool(
+                        backend="remote", nodes=[worker.endpoint],
+                        cluster_opts=ClusterOpts(
+                            poll_interval=0.02)) as pool:
+                    pool.submit(job).result(timeout=60)
+            spans = cap.exporter.by_name(CLUSTER_SPAN)
+            assert len(spans) >= 1
+            jobs = cap.registry.get("repro_cluster_jobs_total")
+            assert jobs.value(node=worker.endpoint, outcome="ok") == 1
+            worker_jobs = cap.registry.get(
+                "repro_cluster_worker_jobs_total")
+            assert worker_jobs.value(outcome="ok") == 1
+            for name, labels in CLUSTER_METRIC_LABELS.items():
+                if name in ("repro_cluster_steals_total",
+                            "repro_cluster_duplicates_total",
+                            "repro_cluster_fallback_total"):
+                    continue  # only emitted by their fault paths
+                assert cap.registry.label_names(name) == labels, name
+            gauge = cap.registry.get("repro_cluster_nodes")
+            assert gauge.value(state="healthy") == 1
+            assert gauge.value(state="quarantined") == 0
+            assert cap.registry.get(
+                "repro_cluster_degraded").value() == 0
+
+    def test_local_backends_emit_no_cluster_names(self, service_round):
+        service, _ = service_round
+        with obs.capture() as cap:
+            service.aggregate_all_committed()
+            for name in CLUSTER_METRIC_LABELS:
+                assert cap.registry.get(name) is None, name
+            assert cap.exporter.by_name(CLUSTER_SPAN) == []

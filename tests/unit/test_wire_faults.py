@@ -1,0 +1,266 @@
+"""Wire-level fault injection: the ``net.frame`` site (repro.faults.wire).
+
+Frame faults are *behaviours*, not exceptions: the injector schedules
+an action (drop/delay/corrupt/disconnect), the transport performs it
+for real, and the code under test sees only organic consequences —
+timeouts, resets, decode failures.  These tests pin the helper
+contract, the deterministic replay guarantee under REPRO_FAULT_SEED,
+and the corrupt-frame handling on both halves of the worker protocol
+(client corrupts → server rejects; server corrupts → client rejects).
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.cluster import WorkerClient, WorkerServer
+from repro.core.guest_programs import register_guest
+from repro.engine import ProofJob
+from repro.errors import (
+    ConfigurationError,
+    ConnectionFailed,
+    FrameFault,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    RequestTimeout,
+    SerializationError,
+)
+from repro.faults import (
+    FRAME_ACTIONS,
+    NET_FRAME,
+    FaultInjector,
+    FaultPlan,
+    corrupt_payload,
+    frame_action,
+)
+from repro.net.framing import HEADER_SIZE, encode_frame
+from repro.net.messages import Envelope, request
+from repro.zkvm import ExecutorEnvBuilder, GuestProgram
+
+
+def _echo_fn(env):
+    env.commit({"echo": env.read()})
+
+
+echo_guest = register_guest(GuestProgram(_echo_fn, name="wire/echo"))
+
+
+def echo_job(value="x"):
+    builder = ExecutorEnvBuilder()
+    builder.write(value)
+    return ProofJob.from_parts(echo_guest, builder.build())
+
+
+def injector(plan_text, seed=0):
+    return FaultInjector(FaultPlan.parse(plan_text, seed=seed))
+
+
+# -- the helper contract -----------------------------------------------------
+
+
+class TestFrameActionHelper:
+    def test_none_injector_is_inert(self):
+        assert frame_action(None) is None
+
+    def test_no_scheduled_fault_returns_none(self):
+        assert frame_action(FaultInjector(None)) is None
+
+    @pytest.mark.parametrize("action", sorted(FRAME_ACTIONS))
+    def test_each_action_translates(self, action):
+        inj = injector(f"net.frame:{action}:count=1")
+        assert frame_action(inj) == action
+        assert frame_action(inj) is None  # count exhausted
+
+    def test_unknown_action_is_a_config_error(self):
+        class Bogus:
+            def fire(self, site):
+                raise FrameFault("teleport")
+
+        with pytest.raises(ConfigurationError):
+            frame_action(Bogus())
+
+    def test_non_frame_faults_propagate(self):
+        inj = injector("net.frame:storage:count=1")
+        from repro.errors import StorageError
+        with pytest.raises(StorageError):
+            frame_action(inj)
+
+    def test_frame_fault_is_a_network_error(self):
+        assert issubclass(FrameFault, NetworkError)
+        assert FrameFault("drop").action == "drop"
+
+
+class TestCorruptPayload:
+    def test_flips_the_leading_byte_only(self):
+        payload = b"\x01rest-of-envelope"
+        mangled = corrupt_payload(payload)
+        assert mangled != payload
+        assert len(mangled) == len(payload)
+        assert mangled[0] == payload[0] ^ 0xFF
+        assert mangled[1:] == payload[1:]
+
+    def test_empty_payload_still_corrupts(self):
+        assert corrupt_payload(b"") == b"\xff"
+
+    def test_corrupted_envelope_fails_decode(self):
+        data = request(1, "work-health").to_bytes()
+        with pytest.raises(ReproError):
+            Envelope.from_bytes(corrupt_payload(data))
+
+
+# -- determinism under REPRO_FAULT_SEED --------------------------------------
+
+
+class TestDeterminism:
+    def schedule(self, seed, n=64):
+        inj = FaultInjector.from_env({
+            "REPRO_FAULTS": "net.frame:drop:p=0.5",
+            "REPRO_FAULT_SEED": str(seed)})
+        return tuple(frame_action(inj) for _ in range(n))
+
+    def test_same_seed_replays_bit_for_bit(self):
+        assert self.schedule(1) == self.schedule(1)
+
+    def test_different_seeds_differ(self):
+        assert self.schedule(0) != self.schedule(1)
+
+    def test_reset_replays_the_same_schedule(self):
+        inj = injector("net.frame:corrupt:p=0.5", seed=3)
+        first = tuple(frame_action(inj) for _ in range(64))
+        inj.reset()
+        assert tuple(frame_action(inj) for _ in range(64)) == first
+
+
+# -- client-side faults against a live worker --------------------------------
+
+
+class TestClientSideFaults:
+    @pytest.fixture
+    def worker(self):
+        with WorkerServer() as server:
+            yield server
+
+    def client(self, server, plan=None, timeout=5.0, seed=0):
+        inj = injector(plan, seed=seed) if plan else None
+        return WorkerClient(server.endpoint, timeout=timeout,
+                            fault_injector=inj)
+
+    def test_corrupt_request_rejected_by_server(self, worker):
+        """Client corrupts its own request; the worker must answer with
+        a typed error envelope (and the next request must succeed)."""
+        with self.client(worker, "net.frame:corrupt:count=1") as client:
+            with pytest.raises(ReproError) as err:
+                client.probe()
+            assert not isinstance(err.value, ProtocolError) or \
+                "accepted a corrupted frame" not in str(err.value)
+            assert client.probe()["status"] == "ok"
+
+    def test_dropped_request_times_out(self, worker):
+        with self.client(worker, "net.frame:drop:count=1",
+                         timeout=0.3) as client:
+            with pytest.raises(RequestTimeout):
+                client.probe()
+            assert client.probe()["status"] == "ok"
+
+    def test_delayed_request_still_succeeds(self, worker):
+        from repro.faults.wire import DELAY_SECONDS
+        with self.client(worker, "net.frame:delay:count=1") as client:
+            start = time.monotonic()
+            assert client.probe()["status"] == "ok"
+            assert time.monotonic() - start >= DELAY_SECONDS
+
+    def test_disconnect_surfaces_connection_failed(self, worker):
+        with self.client(worker, "net.frame:disconnect:count=1") as client:
+            with pytest.raises(ConnectionFailed):
+                client.probe()
+            assert client.probe()["status"] == "ok"
+
+    def test_raw_garbage_header_gets_error_then_hangup(self, worker):
+        """The server half of the corrupt-frame contract: unframeable
+        bytes earn one typed error envelope, then the connection dies
+        (no frame boundary is left to resynchronize on)."""
+        host, port = worker.host, worker.port
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"XX\x01\x00\x00\x00\x00")  # bad magic
+            from repro.net.framing import read_frame_from
+            reply = Envelope.from_bytes(
+                read_frame_from(sock.recv))
+            assert reply.type == "err"
+            assert sock.recv(1) == b""  # hangup after the report
+
+    def test_well_framed_garbage_payload_reports_and_hangs_up(self,
+                                                              worker):
+        host, port = worker.host, worker.port
+        envelope = request(7, "work-health").to_bytes()
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(encode_frame(corrupt_payload(envelope)))
+            from repro.net.framing import read_frame_from
+            reply = Envelope.from_bytes(read_frame_from(sock.recv))
+            assert reply.type == "err"
+
+
+# -- server-side faults ------------------------------------------------------
+
+
+class TestServerSideFaults:
+    def test_corrupt_response_rejected_by_client(self):
+        with WorkerServer(
+                injector=injector("net.frame:corrupt:count=1")) as server:
+            with WorkerClient(server.endpoint, timeout=5.0) as client:
+                with pytest.raises(ReproError):
+                    client.probe()
+                assert client.probe()["status"] == "ok"
+
+    def test_dropped_response_times_out(self):
+        with WorkerServer(
+                injector=injector("net.frame:drop:count=1")) as server:
+            with WorkerClient(server.endpoint, timeout=0.3) as client:
+                with pytest.raises(RequestTimeout):
+                    client.probe()
+            with WorkerClient(server.endpoint, timeout=5.0) as client:
+                assert client.probe()["status"] == "ok"
+
+    def test_disconnect_drops_the_connection(self):
+        with WorkerServer(
+                injector=injector(
+                    "net.frame:disconnect:count=1")) as server:
+            with WorkerClient(server.endpoint, timeout=0.5) as client:
+                with pytest.raises((ConnectionFailed, RequestTimeout,
+                                    ReproError)):
+                    client.probe()
+            with WorkerClient(server.endpoint, timeout=5.0) as client:
+                assert client.probe()["status"] == "ok"
+
+    def test_faults_do_not_poison_proving(self):
+        """A worker under a transient frame-fault storm still proves
+        correctly once frames flow again."""
+        from repro.engine import JobResult, execute_job
+        with WorkerServer(
+                injector=injector("net.frame:corrupt:count=2")) as server:
+            client = WorkerClient(server.endpoint, timeout=5.0)
+            try:
+                for attempt in range(8):
+                    try:
+                        client.submit_job(echo_job("storm"),
+                                          "lease-storm", 60_000)
+                        break
+                    except ReproError:
+                        continue
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    try:
+                        reply = client.poll_result("lease-storm")
+                    except ReproError:
+                        continue
+                    if reply["state"] == "done":
+                        break
+                    time.sleep(0.01)
+                else:
+                    raise AssertionError("never finished")
+                result = JobResult.from_wire(reply["result"])
+            finally:
+                client.close()
+        assert result.receipt.to_json_bytes() == \
+            execute_job(echo_job("storm")).receipt.to_json_bytes()
