@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Profile the zkVM hot path and gate CI on its hottest functions.
+
+Runs one proven aggregation round plus one partitioned query under
+``cProfile``, writes the raw pstats dump (uploaded as a CI artifact for
+offline digging), and reduces the profile to the cumulative time of
+the hottest in-repo functions.  Raw seconds do not transfer between
+machines, so — like ``check_regression.py`` — every cumtime is first
+divided by a fixed pure-CPU calibration loop; the compared quantity is
+"calibration units spent under this function".
+
+Modes::
+
+    python benchmarks/profile_hotpath.py --update   # re-pin baseline
+    python benchmarks/profile_hotpath.py --check    # gate (CI)
+
+``--check`` fails (exit 1) when the combined cumulative time of the
+top-3 hot functions regresses more than ``--threshold`` (default 30%)
+against ``results/profile_baseline.json``; individual functions are
+reported but only the top-3 aggregate gates, so a refactor that merely
+renames a helper cannot fail CI on its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import hashlib
+import json
+import pathlib
+import pstats
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+BASELINE = (pathlib.Path(__file__).parent / "results"
+            / "profile_baseline.json")
+TOP_FUNCTIONS = 10
+GATED_FUNCTIONS = 3
+RECORDS = 1_500
+QUERY_PARTITIONS = 2
+
+
+def calibration_seconds(rounds: int = 5) -> float:
+    """Median seconds for fixed CPU work (1 MiB of chained sha256) —
+    the same yardstick shape ``bench_engine.py`` normalizes with."""
+    def calibrate() -> bytes:
+        block = b"\x00" * 1024
+        digest = b""
+        for _ in range(4096):
+            digest = hashlib.sha256(block + digest).digest()
+        return digest
+
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        calibrate()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def run_workload() -> None:
+    """One proven round + one partitioned query — the paper pipeline."""
+    from repro.core.prover_service import ProverService
+    from _workloads import PAPER_QUERY, committed_workload
+
+    store, bulletin = committed_workload(RECORDS)
+    service = ProverService(store, bulletin,
+                            query_partitions=QUERY_PARTITIONS)
+    service.aggregate_window(0)
+    service.answer_query(PAPER_QUERY)
+    service.close()
+
+
+def hot_functions(stats: pstats.Stats,
+                  top: int = TOP_FUNCTIONS) -> dict[str, float]:
+    """name -> cumulative seconds for the hottest in-repo functions.
+
+    Keys are ``module.py:func`` with the path reduced to the basename,
+    so they are stable across checkouts and virtualenvs.  Only
+    functions defined under ``repro`` are considered: stdlib and
+    site-packages frames shift with interpreter versions and would
+    make the committed snapshot churn.
+    """
+    rows: dict[str, float] = {}
+    for (filename, _lineno, funcname), row in stats.stats.items():
+        if "repro" not in filename.replace("\\", "/"):
+            continue
+        cumtime = row[3]
+        key = f"{pathlib.Path(filename).name}:{funcname}"
+        rows[key] = max(rows.get(key, 0.0), cumtime)
+    ranked = sorted(rows.items(), key=lambda kv: -kv[1])[:top]
+    return dict(ranked)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pstats-out", type=pathlib.Path,
+                        default=pathlib.Path("profile_hotpath.pstats"),
+                        help="raw cProfile dump (CI uploads this)")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=BASELINE)
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max tolerated top-3 cumtime growth "
+                             "(0.30 = 30%%)")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--update", action="store_true",
+                      help="rewrite the committed baseline")
+    mode.add_argument("--check", action="store_true",
+                      help="gate against the committed baseline")
+    args = parser.parse_args(argv)
+
+    calibration = calibration_seconds()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_workload()
+    profiler.disable()
+    profiler.dump_stats(args.pstats_out)
+    print(f"pstats dump -> {args.pstats_out}")
+
+    stats = pstats.Stats(profiler)
+    normalized = {name: cumtime / calibration for name, cumtime
+                  in hot_functions(stats).items()}
+    print(f"calibration: {calibration * 1e3:.1f} ms; hottest in-repo "
+          "functions (cumtime, calibration units):")
+    for name, units in normalized.items():
+        print(f"  {units:10.1f}  {name}")
+
+    if args.update:
+        args.baseline.parent.mkdir(exist_ok=True)
+        args.baseline.write_text(json.dumps({
+            "units": "cumtime relative to fixed sha256 calibration",
+            "workload": {"records": RECORDS,
+                         "query_partitions": QUERY_PARTITIONS},
+            "functions": {k: round(v, 3)
+                          for k, v in normalized.items()},
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"profile baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no profile baseline at {args.baseline}; create one "
+              "with --update", file=sys.stderr)
+        return 1
+    baseline = json.loads(args.baseline.read_text())["functions"]
+
+    def top3(functions: dict[str, float]) -> float:
+        return sum(sorted(functions.values(), reverse=True)
+                   [:GATED_FUNCTIONS])
+
+    base_top3 = top3(baseline)
+    current_top3 = top3(normalized)
+    ratio = current_top3 / base_top3 if base_top3 else float("inf")
+    print(f"\ntop-{GATED_FUNCTIONS} cumtime: {current_top3:.1f} vs "
+          f"baseline {base_top3:.1f} calibration units "
+          f"({ratio:.2f}x, threshold "
+          f"{1.0 + args.threshold:.2f}x)")
+    for name in sorted(set(baseline) | set(normalized)):
+        if name not in normalized:
+            print(f"  gone   {name} (was {baseline[name]:.1f})")
+        elif name not in baseline:
+            print(f"  new    {name} ({normalized[name]:.1f})")
+
+    if ratio - 1.0 > args.threshold:
+        print(f"PROFILE REGRESSION: top-{GATED_FUNCTIONS} hot-function "
+              f"cumtime grew {ratio - 1.0:.0%} "
+              f"(> {args.threshold:.0%})", file=sys.stderr)
+        return 1
+    print("profile within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

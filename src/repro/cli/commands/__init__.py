@@ -1,0 +1,20 @@
+"""Command modules; import order is ``repro --help`` display order.
+
+Importing this package registers every built-in scenario with
+:data:`repro.cli.framework.REGISTRY`.  A new scenario (e.g. the
+federation commands of ROADMAP item 4) is one new module here with a
+``@register``-decorated class — no central parser to edit.
+"""
+
+from . import (  # noqa: F401  (imported for registration side effect)
+    simulate,
+    aggregate,
+    query,
+    serve,
+    worker,
+    metrics,
+    verify,
+    bundle,
+    tamper,
+    info,
+)

@@ -1,0 +1,44 @@
+"""``repro bundle`` — export a portable audit bundle."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from ..framework import CommandResult, register
+from ..options import add_bulletin, add_db
+from ..persistence import rebuild_service
+
+
+@register
+class BundleCommand:
+    name = "bundle"
+    help = "export a portable audit bundle"
+
+    def configure(self, parser: argparse.ArgumentParser) -> None:
+        add_db(parser)
+        add_bulletin(parser)
+        parser.add_argument("--receipts", type=pathlib.Path,
+                            required=True)
+        parser.add_argument("--out", type=pathlib.Path, required=True)
+        parser.add_argument("--query", action="append",
+                            help="include a proven query (repeatable)")
+
+    def run(self, args: argparse.Namespace) -> CommandResult:
+        from ...core.audit import AuditBundle
+        service = rebuild_service(args.db, args.bulletin, args.receipts)
+        responses = []
+        for sql in args.query or []:
+            responses.append(service.answer_query(sql))
+        bundle = AuditBundle.from_service(
+            service, responses,
+            metadata={"tool": "repro-cli",
+                      "queries": args.query or []})
+        args.out.write_bytes(bundle.to_json_bytes())
+        print(f"audit bundle: {len(bundle.chain)} rounds, "
+              f"{len(bundle.commitments)} commitments, "
+              f"{len(bundle.query_receipts)} query receipts -> "
+              f"{args.out}")
+        service.store.close()
+        return CommandResult.ok(rounds=len(bundle.chain),
+                                queries=len(bundle.query_receipts))

@@ -1,0 +1,32 @@
+"""``repro info`` — inspect the log store."""
+
+from __future__ import annotations
+
+import argparse
+
+from ...storage import SqliteLogStore
+from ..framework import CommandResult, register
+from ..options import add_db
+
+
+@register
+class InfoCommand:
+    name = "info"
+    help = "inspect the log store"
+
+    def configure(self, parser: argparse.ArgumentParser) -> None:
+        add_db(parser)
+
+    def run(self, args: argparse.Namespace) -> CommandResult:
+        store = SqliteLogStore(str(args.db))
+        total = 0
+        for router_id in store.router_ids():
+            windows = store.window_indices(router_id)
+            counts = [store.window_count(router_id, w)
+                      for w in windows]
+            total += sum(counts)
+            print(f"{router_id}: windows {windows} "
+                  f"({sum(counts)} records)")
+        print(f"total: {total} records")
+        store.close()
+        return CommandResult.ok(records=total)

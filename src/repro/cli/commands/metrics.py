@@ -1,0 +1,52 @@
+"""``repro metrics`` — dump an observability snapshot as JSON."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from ..framework import CommandResult, register
+
+
+@register
+class MetricsCommand:
+    name = "metrics"
+    help = "dump an observability snapshot (JSON)"
+
+    def configure(self, parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--connect", metavar="HOST:PORT",
+                            default=None,
+                            help="fetch from a running `repro serve "
+                                 "--metrics` instance")
+        parser.add_argument("--out", type=pathlib.Path, default=None,
+                            help="write the snapshot here instead of "
+                                 "stdout")
+
+    def run(self, args: argparse.Namespace) -> CommandResult:
+        """Dump an observability snapshot as JSON.
+
+        With ``--connect``, fetches the snapshot from a running
+        ``repro serve --metrics`` instance; otherwise dumps this
+        process's own (usually empty unless ``REPRO_OBS`` is set).
+        """
+        from ...obs import runtime as obs_runtime
+        if args.connect is not None:
+            from ...net import ServiceClient
+            with ServiceClient(args.connect) as client:
+                snapshot = client.fetch_metrics()
+        else:
+            snapshot = obs_runtime.metrics_snapshot()
+        text = json.dumps(snapshot, indent=2, sort_keys=True)
+        if args.out is not None:
+            args.out.write_text(text + "\n")
+            print(f"metrics snapshot -> {args.out}")
+        else:
+            print(text)
+        if not snapshot.get("enabled", False):
+            print("note: observability is disabled on the target; "
+                  "start it with `repro serve --metrics` (or "
+                  "REPRO_OBS=1)",
+                  file=sys.stderr)
+        return CommandResult.ok(enabled=snapshot.get("enabled", False))

@@ -1,0 +1,90 @@
+"""``repro query`` — prove and verify a SQL query, local or remote."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from ...core.verifier_client import VerifierClient
+from ...errors import ReproError
+from ..framework import CommandResult, register
+from ..options import add_bulletin, add_db
+from ..persistence import rebuild_service
+
+
+def print_verified_query(args: argparse.Namespace, response,
+                         verified) -> None:
+    print(f"query: {args.sql}")
+    for label, value in zip(verified.labels, verified.values):
+        print(f"  {label} = {value}")
+    for key, values in verified.groups:
+        print(f"  [{key}] "
+              + ", ".join(f"{label}={value}" for label, value
+                          in zip(verified.labels, values)))
+    print(f"  matched {verified.matched}/{verified.scanned} flows; "
+          f"round {verified.round}, root {verified.root.short()}…")
+    if args.out is not None:
+        args.out.write_bytes(response.receipt.to_json_bytes())
+        print(f"  query receipt -> {args.out}")
+
+
+@register
+class QueryCommand:
+    name = "query"
+    help = "prove + verify a SQL query"
+
+    def configure(self, parser: argparse.ArgumentParser) -> None:
+        add_db(parser, required=False)
+        add_bulletin(parser, required=False)
+        parser.add_argument("--receipts", type=pathlib.Path,
+                            default=None)
+        parser.add_argument("--connect", metavar="HOST:PORT",
+                            default=None,
+                            help="query a running `repro serve` "
+                                 "instance instead of local files")
+        parser.add_argument("--out", type=pathlib.Path, default=None,
+                            help="write the query receipt JSON here")
+        parser.add_argument("--tenant", default=None,
+                            help="tenant id sent with --connect "
+                                 "queries; servers running the "
+                                 "multi-tenant query service "
+                                 "rate-limit and fair-queue per "
+                                 "tenant")
+        parser.add_argument("--query-partitions", type=int,
+                            default=None, metavar="K",
+                            help="split the query proof into up to K "
+                                 "slot-range partitions proven in "
+                                 "parallel (REPRO_QUERY_PARTITIONS "
+                                 "tunes an engine-backed service the "
+                                 "same way)")
+        parser.add_argument("sql",
+                            help="e.g. 'SELECT COUNT(*) FROM clogs'")
+
+    def run(self, args: argparse.Namespace) -> CommandResult:
+        if args.connect is not None:
+            return self._run_remote(args)
+        if args.db is None or args.bulletin is None \
+                or args.receipts is None:
+            raise ReproError(
+                "query needs either --connect HOST:PORT or all of "
+                "--db/--bulletin/--receipts")
+        service = rebuild_service(args.db, args.bulletin, args.receipts,
+                                  query_partitions=args.query_partitions)
+        response = service.answer_query(args.sql)
+        verifier = VerifierClient(service.bulletin)
+        chain = verifier.verify_chain(service.chain.receipts())
+        verified = verifier.verify_query(response, chain[-1])
+        print_verified_query(args, response, verified)
+        service.store.close()
+        return CommandResult.ok(matched=verified.matched,
+                                scanned=verified.scanned)
+
+    def _run_remote(self, args: argparse.Namespace) -> CommandResult:
+        """Issue the query over the wire; verify from fetched material."""
+        from ...net import QueryClient
+        with QueryClient(args.connect) as client:
+            response, verified = client.verified_query(
+                args.sql, tenant=args.tenant)
+        print_verified_query(args, response, verified)
+        return CommandResult.ok(matched=verified.matched,
+                                scanned=verified.scanned)

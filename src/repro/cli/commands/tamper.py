@@ -1,0 +1,46 @@
+"""``repro tamper`` — inject post-commitment tampering (adversarial
+demos; subsequent aggregation of the tampered window must fail)."""
+
+from __future__ import annotations
+
+import argparse
+
+from ...storage import SqliteLogStore
+from ..framework import CommandResult, register
+from ..options import add_db
+
+
+@register
+class TamperCommand:
+    name = "tamper"
+    help = "inject post-commitment tampering"
+
+    def configure(self, parser: argparse.ArgumentParser) -> None:
+        add_db(parser)
+        parser.add_argument("--router", required=True)
+        parser.add_argument("--window", type=int, required=True)
+        parser.add_argument("--seq", type=int, default=0)
+        parser.add_argument("--kind", default="modify-field",
+                            choices=["modify-field", "corrupt-bytes",
+                                     "truncate", "reorder"])
+
+    def run(self, args: argparse.Namespace) -> CommandResult:
+        from ...core import tamper as tamper_mod
+        store = SqliteLogStore(str(args.db))
+        actions = {
+            "modify-field": lambda: tamper_mod.modify_record_field(
+                store, args.router, args.window, args.seq,
+                packets=987_654_321),
+            "corrupt-bytes": lambda: tamper_mod.corrupt_record_bytes(
+                store, args.router, args.window, args.seq),
+            "truncate": lambda: tamper_mod.truncate_window(
+                store, args.router, args.window, keep=1),
+            "reorder": lambda: tamper_mod.reorder_window(
+                store, args.router, args.window),
+        }
+        actions[args.kind]()
+        store.close()
+        print(f"tampered ({args.kind}) router {args.router} window "
+              f"{args.window}; subsequent aggregation of that window "
+              f"will fail")
+        return CommandResult.ok(kind=args.kind)

@@ -1,0 +1,19 @@
+"""Shared argparse option helpers used by several commands."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+
+def add_db(parser: argparse.ArgumentParser,
+           required: bool = True) -> None:
+    parser.add_argument("--db", type=pathlib.Path, required=required,
+                        help="sqlite log store path")
+
+
+def add_bulletin(parser: argparse.ArgumentParser,
+                 required: bool = True) -> None:
+    parser.add_argument("--bulletin", type=pathlib.Path,
+                        required=required,
+                        help="bulletin-board JSON path")

@@ -91,17 +91,18 @@ def rebuild_aggregation_guest(env: GuestEnv) -> None:
     slot_keys: list[bytes] = []
     entries: dict[bytes, dict[str, Any]] = {}
     prev_leaves = []
-    for _ in range(prev_size):
-        frame = env.read()
+    payload_bytes = 0
+    for frame in env.read_batch(prev_size):
         key_bytes: bytes = frame["key"]
         payload: bytes = frame["payload"]
         prev_leaves.append(hasher.leaf(key_bytes + payload))
-        env.tick(len(payload) * DECODE_CYCLES_PER_BYTE, "decode")
+        payload_bytes += len(payload)
         wire = decode(payload)
         if wire["key"] != key_bytes:
             env.abort("entry payload key does not match frame key")
         slot_keys.append(key_bytes)
         entries[key_bytes] = wire
+    env.tick(payload_bytes * DECODE_CYCLES_PER_BYTE, "decode")
     if MerkleTree(prev_leaves, hasher=hasher).root != prev_root:
         env.abort("previous entries do not reproduce the committed "
                   "root")
@@ -162,9 +163,11 @@ def rebuild_aggregation_guest(env: GuestEnv) -> None:
         "policy": policy.digest(),
         "entries": len(record_tags),
     })
-    for key_bytes, tag in record_tags:
-        slot = slot_of[key_bytes]
-        env.commit({"s": slot, "l": new_leaves[slot], "t": tag})
+    env.commit_many([
+        {"s": slot_of[key_bytes], "l": new_leaves[slot_of[key_bytes]],
+         "t": tag}
+        for key_bytes, tag in record_tags
+    ])
 
 
 def _encode_wire(env: GuestEnv, wire: dict[str, Any]) -> bytes:

@@ -18,6 +18,8 @@ import hashlib
 from functools import lru_cache
 from typing import Iterable
 
+from . import hotpath
+
 DIGEST_SIZE = 32
 
 # Canonical domain tags used across the library.  Centralising them here
@@ -108,9 +110,29 @@ def _tag_prefix(tag: str) -> bytes:
     return tag_digest + tag_digest
 
 
+# Midstate templates: the 64-byte tag prefix is absorbed exactly once per
+# tag and every later tagged hash starts from a ``copy()`` of the
+# template, skipping one SHA-256 compression per call.  This is the
+# host-side analogue of the accelerator's midstate caching that
+# ``cycles.sha256_cycles(midstate=True)`` already models — the digests
+# are bit-identical either way.
+_TAG_TEMPLATES: dict[str, "hashlib._Hash"] = {}
+
+
+def _tag_hasher(tag: str) -> "hashlib._Hash":
+    template = _TAG_TEMPLATES.get(tag)
+    if template is None:
+        template = hashlib.sha256(_tag_prefix(tag))
+        _TAG_TEMPLATES[tag] = template
+    return template.copy()
+
+
 def tagged_hash(tag: str, *parts: bytes) -> Digest:
     """Hash ``parts`` under domain ``tag`` (BIP-340 style)."""
-    h = hashlib.sha256(_tag_prefix(tag))
+    if hotpath.enabled():
+        h = _tag_hasher(tag)
+    else:
+        h = hashlib.sha256(_tag_prefix(tag))
     for part in parts:
         h.update(part)
     return Digest(h.digest())
@@ -128,7 +150,10 @@ def hash_many(tag: str, items: Iterable[bytes]) -> Digest:
     prefixes each item with its 8-byte big-endian length so that the item
     boundaries are unambiguous for variable-length inputs.
     """
-    h = hashlib.sha256(_tag_prefix(tag))
+    if hotpath.enabled():
+        h = _tag_hasher(tag)
+    else:
+        h = hashlib.sha256(_tag_prefix(tag))
     for item in items:
         h.update(len(item).to_bytes(8, "big"))
         h.update(item)

@@ -16,6 +16,7 @@ inclusion proofs.  Three building blocks live here:
 from .consistency import ConsistencyProof, verify_consistency
 from .hasher import MerkleHasher, TaggedMerkleHasher, default_hasher
 from .maptree import MerkleMap
+from .memo import DigestMemo, clear_memos, memo_stats
 from .proof import (
     InclusionProof,
     MultiProof,
@@ -26,6 +27,7 @@ from .tree import EMPTY_ROOTS, MerkleTree
 
 __all__ = [
     "ConsistencyProof",
+    "DigestMemo",
     "EMPTY_ROOTS",
     "InclusionProof",
     "MerkleHasher",
@@ -34,7 +36,9 @@ __all__ = [
     "MultiProof",
     "SubtreeProof",
     "TaggedMerkleHasher",
+    "clear_memos",
     "default_hasher",
+    "memo_stats",
     "verify_consistency",
     "verify_inclusion",
 ]

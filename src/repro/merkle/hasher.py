@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Protocol
 
-from ..hashing import TAG_EMPTY, TAG_LEAF, TAG_NODE, Digest, tagged_hash
+from ..hashing import TAG_EMPTY, Digest, tagged_hash
+from . import memo
 
 
 class MerkleHasher(Protocol):
@@ -36,10 +37,10 @@ class TaggedMerkleHasher:
     algorithm = "tagged-sha256"
 
     def leaf(self, data: bytes) -> Digest:
-        return tagged_hash(TAG_LEAF, data)
+        return memo.leaf_digest(data)
 
     def node(self, left: Digest, right: Digest) -> Digest:
-        return tagged_hash(TAG_NODE, left.raw, right.raw)
+        return memo.node_digest(left, right)
 
     def empty(self) -> Digest:
         return _EMPTY_LEAF

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from .. import hotpath
 from ..errors import QueryError
 from .ast import (
     AggFunc,
@@ -233,8 +234,17 @@ def evaluate(query: Query, entries: Iterable[EntryView],
 
     ``cost_hook(nodes)`` is invoked once per scanned entry with the
     number of AST nodes its evaluation touched; the zkVM guest uses it to
-    charge compute cycles.
+    charge compute cycles.  The vectorized fast path batches those
+    invocations into one call with the same total — every in-tree hook
+    is linear, so metered cycles are unchanged.
     """
+    if hotpath.enabled():
+        if not isinstance(entries, (list, tuple)):
+            entries = list(entries)
+        from . import vectorized
+        result = vectorized.try_evaluate(query, entries, cost_hook)
+        if result is not None:
+            return result
     per_entry_nodes = query.node_count
     matched = 0
     scanned = 0
@@ -325,6 +335,13 @@ def evaluate_partial(
     ``merge_partials`` folds across slices.  Metering via ``cost_hook``
     is identical to :func:`evaluate`.
     """
+    if hotpath.enabled():
+        if not isinstance(entries, (list, tuple)):
+            entries = list(entries)
+        from . import vectorized
+        result = vectorized.try_evaluate_partial(query, entries, cost_hook)
+        if result is not None:
+            return result
     per_entry_nodes = query.node_count
     matched = 0
     scanned = 0

@@ -45,6 +45,39 @@ def words_for_bytes(num_bytes: int) -> int:
     return (num_bytes + 3) // 4
 
 
+def sha256_blocks(num_bytes: int) -> int:
+    """64-byte compression blocks to hash ``num_bytes`` (midstate rule)."""
+    if num_bytes < 0:
+        raise ValueError("num_bytes must be non-negative")
+    return (num_bytes + 9 + 63) // 64
+
+
+def sha256_blocks_batch(lengths) -> int:
+    """Total compression blocks for a batch of messages.
+
+    Each message pays its own padding (``ceil((len + 9) / 64)``), so the
+    batch total equals the sum of per-message charges — one accounting
+    call prices a whole buffer of guest syscalls without changing the
+    metered cycle count.
+    """
+    total = 0
+    for num_bytes in lengths:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        total += (num_bytes + 9 + 63) // 64
+    return total
+
+
+def io_cycles_batch(lengths) -> int:
+    """Total I/O cycles for a batch of frames (per-frame word rounding)."""
+    total = 0
+    for num_bytes in lengths:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        total += (num_bytes + 3) // 4
+    return total * IO_CYCLES_PER_WORD
+
+
 def sha256_cycles(num_bytes: int, *, midstate: bool = True) -> int:
     """Cycles to hash ``num_bytes`` through the sha accelerator.
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import inspect
 from typing import Any, Callable
 
+from .. import hotpath
 from ..errors import ConfigurationError
 from ..hashing import (
     TAG_EMPTY,
@@ -35,6 +36,7 @@ from ..hashing import (
     Digest,
     tagged_hash,
 )
+from ..merkle import memo as merkle_memo
 from ..serialization import decode, encode
 from . import cycles as cy
 from .receipt import Assumption
@@ -111,6 +113,16 @@ class CycleMeter:
         self.sha_compressions += blocks
         self.charge(blocks * cy.SHA256_COMPRESS_CYCLES, category)
 
+    def charge_sha_batch(self, lengths: list[int], category: str) -> None:
+        """Price a whole buffer of messages in one accounting call.
+
+        Each message still pays its own padding, so the total equals the
+        sum of per-message :meth:`charge_sha` calls exactly.
+        """
+        blocks = cy.sha256_blocks_batch(lengths)
+        self.sha_compressions += blocks
+        self.charge(blocks * cy.SHA256_COMPRESS_CYCLES, category)
+
 
 class GuestEnv:
     """Execution environment handed to guest programs."""
@@ -133,6 +145,32 @@ class GuestEnv:
         self._meter.charge(cy.io_cycles(len(frame)), "io")
         return decode(frame)
 
+    def read_batch(self, count: int) -> list[Any]:
+        """Read ``count`` input values through one buffered syscall.
+
+        The hot path slices the frame buffer once and prices the whole
+        transfer with a single batched I/O charge; per-frame word
+        rounding is preserved, so the metered cycle total is identical
+        to ``count`` individual :meth:`read` calls.
+        """
+        if count < 0:
+            raise ConfigurationError("read_batch count must be non-negative")
+        if count == 0:
+            # An empty batch must not touch the meter: the loop below
+            # would never charge, and a zero-amount charge would still
+            # materialize an "io" category in the breakdown.
+            return []
+        if not hotpath.enabled():
+            return [self.read() for _ in range(count)]
+        end = self._frame_pos + count
+        if end > len(self._frames):
+            self.abort("guest read past end of input")
+        frames = self._frames[self._frame_pos:end]
+        self._frame_pos = end
+        self._meter.charge(cy.io_cycles_batch([len(f) for f in frames]),
+                           "io")
+        return [decode(f) for f in frames]
+
     @property
     def frames_remaining(self) -> int:
         return len(self._frames) - self._frame_pos
@@ -144,6 +182,26 @@ class GuestEnv:
         # The journal is hashed into the claim; charge the accelerator.
         self._meter.charge_sha(len(frame), "io")
         self._journal.extend(frame)
+
+    def commit_many(self, values: list[Any]) -> None:
+        """Commit a batch of public outputs through one buffered syscall.
+
+        Journal bytes are the exact concatenation of per-value
+        :meth:`commit` frames, and the batched I/O + sha accounting sums
+        the per-message charges, so both the journal and the cycle
+        totals are byte-for-byte identical to the loop it replaces.
+        """
+        if not values:
+            return  # keep the meter breakdown free of zero entries
+        if not hotpath.enabled():
+            for value in values:
+                self.commit(value)
+            return
+        frames = [encode(value) for value in values]
+        lengths = [len(frame) for frame in frames]
+        self._meter.charge(cy.io_cycles_batch(lengths), "io")
+        self._meter.charge_sha_batch(lengths, "io")
+        self._journal.extend(b"".join(frames))
 
     # -- hashing ------------------------------------------------------------------
 
@@ -224,12 +282,24 @@ class MeteredMerkleHasher:
         self._env = env
         self._category = category
 
+    # Two 32-byte child digests: every interior node hashes 64 bytes.
+    _NODE_INPUT_BYTES = 2 * 32
+
     def leaf(self, data: bytes) -> Digest:
-        return self._env.tagged_hash(TAG_LEAF, data, category=self._category)
+        if not hotpath.enabled():
+            return self._env.tagged_hash(TAG_LEAF, data,
+                                         category=self._category)
+        # Cycles are charged unconditionally — the memo saves host CPU,
+        # never modeled guest work — so cycle totals stay identical.
+        self._env.meter.charge_sha(len(data), self._category)
+        return merkle_memo.leaf_digest(data)
 
     def node(self, left: Digest, right: Digest) -> Digest:
-        return self._env.tagged_hash(TAG_NODE, left.raw, right.raw,
-                                     category=self._category)
+        if not hotpath.enabled():
+            return self._env.tagged_hash(TAG_NODE, left.raw, right.raw,
+                                         category=self._category)
+        self._env.meter.charge_sha(self._NODE_INPUT_BYTES, self._category)
+        return merkle_memo.node_digest(left, right)
 
     def empty(self) -> Digest:
         return tagged_hash(TAG_EMPTY, b"")

@@ -1,0 +1,207 @@
+"""Command-registry tests: every registered scenario smoke-runs
+through the invoker, hooks observe each run, and the help output
+advertises the full registry."""
+
+import argparse
+import dataclasses
+
+import pytest
+
+from repro.cli import (
+    REGISTRY,
+    CommandInvoker,
+    CommandRegistry,
+    CommandResult,
+)
+from repro.cli.commands.serve import ServeCommand
+from repro.cli.commands.worker import WorkerCommand
+from repro.errors import ConfigurationError
+from repro.storage import SqliteLogStore
+
+EXPECTED_COMMANDS = (
+    "simulate", "aggregate", "query", "serve", "worker", "metrics",
+    "verify", "verify-bundle", "verify-query", "bundle", "tamper",
+    "info",
+)
+
+
+class RecordingHook:
+    def __init__(self):
+        self.events = []
+
+    def before(self, command, args):
+        self.events.append(("before", command.name))
+
+    def after(self, command, args, result):
+        assert isinstance(result, CommandResult)
+        self.events.append(("after", command.name))
+
+
+class TestRegistry:
+    def test_all_builtin_commands_registered(self):
+        assert REGISTRY.names() == EXPECTED_COMMANDS
+
+    def test_duplicate_registration_rejected(self):
+        registry = CommandRegistry()
+        first = ServeCommand()
+        registry.register(first)
+        # Re-registering the same instance is an idempotent no-op …
+        registry.register(first)
+        # … but a second command claiming the name is a config error.
+        with pytest.raises(ConfigurationError,
+                           match="already registered"):
+            registry.register(ServeCommand())
+
+    def test_unknown_command_lookup(self):
+        with pytest.raises(ConfigurationError, match="unknown CLI"):
+            CommandRegistry().get("federate")
+
+    def test_help_lists_every_registered_scenario(self, capsys):
+        parser = CommandInvoker(REGISTRY).build_parser()
+        with pytest.raises(SystemExit) as exc:
+            parser.parse_args(["--help"])
+        assert exc.value.code == 0
+        help_text = capsys.readouterr().out
+        for name in REGISTRY.names():
+            assert name in help_text
+
+
+class TestCommandResult:
+    def test_frozen(self):
+        result = CommandResult.ok("done", records=3)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.exit_code = 5
+
+    def test_data_mapping_read_only(self):
+        result = CommandResult.ok(records=3)
+        assert result.data["records"] == 3
+        with pytest.raises(TypeError):
+            result.data["records"] = 4
+
+    def test_failure_carries_exit_code(self):
+        result = CommandResult.failure("boom", exit_code=3, reason="x")
+        assert not result.success
+        assert result.exit_code == 3
+        assert result.data["reason"] == "x"
+
+
+class TestHookOrdering:
+    def test_before_in_order_after_reversed(self):
+        registry = CommandRegistry()
+
+        class Noop:
+            name = "noop"
+            help = "noop"
+
+            def configure(self, parser):
+                pass
+
+            def run(self, args):
+                return CommandResult.ok()
+
+        command = Noop()
+        registry.register(command)
+        trace = []
+
+        class Tagged:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def before(self, cmd, args):
+                trace.append(("before", self.tag))
+
+            def after(self, cmd, args, result):
+                trace.append(("after", self.tag))
+
+        invoker = CommandInvoker(registry,
+                                 hooks=[Tagged("a"), Tagged("b")])
+        invoker.invoke(command, argparse.Namespace())
+        assert trace == [("before", "a"), ("before", "b"),
+                         ("after", "b"), ("after", "a")]
+
+
+class TestEveryCommandSmokeRuns:
+    """Drive each registered command end-to-end through the invoker.
+
+    One ordered sweep over a shared workspace: simulate seeds the
+    store, aggregate proves it, and the later commands consume those
+    artifacts.  serve/worker have their accept loops stubbed so they
+    exercise construction + teardown without binding a socket forever.
+    """
+
+    def test_sweep_covers_registry_and_hooks_fire(self, tmp_path,
+                                                  monkeypatch, capsys):
+        db = tmp_path / "logs.db"
+        bulletin = tmp_path / "bulletin.json"
+        receipts = tmp_path / "receipts"
+        bundle_path = tmp_path / "bundle.json"
+        query_receipt = tmp_path / "query.receipt.json"
+        metrics_out = tmp_path / "metrics.json"
+
+        served = []
+        monkeypatch.setattr(
+            ServeCommand, "_serve",
+            lambda self, server, service, args: served.append("serve"))
+        monkeypatch.setattr(
+            WorkerCommand, "_serve",
+            lambda self, server, store, args: served.append("worker"))
+
+        count_sql = "SELECT COUNT(*) FROM clogs"
+        base = ["--db", str(db), "--bulletin", str(bulletin)]
+        sweep = [
+            ("simulate", base + ["--records", "60", "--routers", "3"]),
+            ("aggregate", base + ["--receipts", str(receipts)]),
+            ("query", base + ["--receipts", str(receipts),
+                              "--out", str(query_receipt), count_sql]),
+            ("bundle", base + ["--receipts", str(receipts),
+                               "--out", str(bundle_path),
+                               "--query", count_sql]),
+            ("verify", ["--bulletin", str(bulletin),
+                        "--receipts", str(receipts)]),
+            ("verify-bundle", ["--bundle", str(bundle_path)]),
+            ("verify-query", ["--bulletin", str(bulletin),
+                              "--receipts", str(receipts),
+                              "--query-receipt", str(query_receipt)]),
+            ("info", ["--db", str(db)]),
+            ("metrics", ["--out", str(metrics_out)]),
+            ("serve", base + ["--receipts", str(receipts)]),
+            ("worker", []),
+            # Last: corrupts the store, so nothing may run after it.
+            ("tamper", ["--db", str(db), "--window", "0",
+                        "--router", None]),  # router filled below
+        ]
+        assert {name for name, _ in sweep} == set(REGISTRY.names()), \
+            "smoke sweep must cover every registered command"
+
+        hook = RecordingHook()
+        invoker = CommandInvoker(REGISTRY, hooks=[hook])
+        for name, argv in sweep:
+            if name == "tamper":
+                store = SqliteLogStore(str(db))
+                router = sorted(store.router_ids())[0]
+                store.close()
+                argv = [a if a is not None else router for a in argv]
+            exit_code = invoker.main([name] + argv)
+            captured = capsys.readouterr()
+            assert exit_code == 0, \
+                f"{name} exited {exit_code}: {captured.err}"
+            assert ("before", name) in hook.events
+            assert ("after", name) in hook.events
+
+        assert served == ["serve", "worker"]
+        assert bundle_path.exists()
+        assert query_receipt.exists()
+        assert metrics_out.exists()
+
+    def test_aggregate_empty_store_fails_cleanly(self, tmp_path,
+                                                 capsys):
+        db = tmp_path / "empty.db"
+        bulletin = tmp_path / "bulletin.json"
+        bulletin.write_text('{"commitments": []}')
+        SqliteLogStore(str(db)).close()
+        invoker = CommandInvoker(REGISTRY)
+        exit_code = invoker.main([
+            "aggregate", "--db", str(db), "--bulletin", str(bulletin),
+            "--receipts", str(tmp_path / "receipts")])
+        assert exit_code == 1
+        assert "nothing to aggregate" in capsys.readouterr().out

@@ -98,11 +98,23 @@ class TestFiltering:
 
 
 class TestCostHook:
-    def test_hook_called_per_scanned_entry(self):
+    def test_hook_total_matches_scanned_entries(self):
+        # The vectorized fast path may batch invocations; the metered
+        # total (what the guest charges) must equal per-entry charging.
         calls = []
         query = parse_query("SELECT COUNT(*) FROM clogs "
                             "WHERE packets > 20")
         evaluate(query, entries(), cost_hook=calls.append)
+        assert sum(calls) == 3 * query.node_count
+
+    def test_hook_called_per_entry_on_reference_path(self):
+        from repro import hotpath
+
+        calls = []
+        query = parse_query("SELECT COUNT(*) FROM clogs "
+                            "WHERE packets > 20")
+        with hotpath.disabled():
+            evaluate(query, entries(), cost_hook=calls.append)
         assert len(calls) == 3
         assert all(c == query.node_count for c in calls)
 
