@@ -1,9 +1,9 @@
 """Command modules; import order is ``repro --help`` display order.
 
 Importing this package registers every built-in scenario with
-:data:`repro.cli.framework.REGISTRY`.  A new scenario (e.g. the
-federation commands of ROADMAP item 4) is one new module here with a
-``@register``-decorated class — no central parser to edit.
+:data:`repro.cli.framework.REGISTRY`.  A new scenario is one new
+module here with a ``@register``-decorated class — no central parser
+to edit (``federate`` landed exactly that way).
 """
 
 from . import (  # noqa: F401  (imported for registration side effect)
@@ -17,4 +17,5 @@ from . import (  # noqa: F401  (imported for registration side effect)
     bundle,
     tamper,
     info,
+    federate,
 )

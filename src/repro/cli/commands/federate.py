@@ -1,0 +1,111 @@
+"""``repro federate`` — prove and audit a K-provider federation round."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..framework import CommandResult, register
+
+
+@register
+class FederateCommand:
+    name = "federate"
+    help = "prove a K-provider federation join and audit it"
+
+    def configure(self, parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--providers", type=int, default=3,
+                            help="number of provider domains "
+                                 "(default: 3)")
+        parser.add_argument("--flows", type=int, default=60,
+                            help="flows crossing the whole chain "
+                                 "(default: 60)")
+        parser.add_argument("--seed", type=int, default=7,
+                            help="traffic generator seed")
+        parser.add_argument("--windows", type=int, default=1,
+                            help="commitment windows per provider "
+                                 "(default: 1)")
+        parser.add_argument("--boundary-loss", type=float,
+                            default=0.01,
+                            help="loss rate on inter-domain links "
+                                 "(default: 0.01)")
+        parser.add_argument("--tolerance-ppm", type=int, default=0,
+                            help="allowed boundary gap, parts per "
+                                 "million (default: 0)")
+        parser.add_argument("--sla-loss-ppm", type=int,
+                            default=50_000,
+                            help="per-provider SLA loss ceiling, ppm "
+                                 "(default: 50000)")
+        parser.add_argument("--tamper-provider", type=int,
+                            default=None, metavar="INDEX",
+                            help="after the join, republish a bogus "
+                                 "root for provider INDEX (Byzantine "
+                                 "demo; the auditor must flag it)")
+
+    def run(self, args: argparse.Namespace) -> CommandResult:
+        """Build the scenario, prove the join, audit from receipts.
+
+        The auditor sees only public material — receipts, bulletins and
+        the root board.  With ``--tamper-provider`` the named provider
+        equivocates on the board after proving; the audit must flag
+        exactly that provider and no other.
+        """
+        from ...errors import ReproError
+        from ...federation import (
+            FederationAuditor,
+            FederationJoinProver,
+            build_federation_scenario,
+        )
+        from ...hashing import Digest
+        try:
+            scenario = build_federation_scenario(
+                num_providers=args.providers,
+                num_flows=args.flows,
+                seed=args.seed,
+                boundary_loss=args.boundary_loss,
+                num_windows=args.windows,
+            )
+            with FederationJoinProver(
+                    tolerance_ppm=args.tolerance_ppm,
+                    sla_loss_ppm=args.sla_loss_ppm) as prover:
+                join = prover.prove_join(scenario)
+        except ReproError as exc:
+            return CommandResult.failure(f"federation join failed: {exc}")
+        print(f"proved join over {len(join.providers)} providers "
+              f"({join.total_cycles:,} cycles)")
+
+        tampered = None
+        if args.tamper_provider is not None:
+            if not 0 <= args.tamper_provider < len(join.providers):
+                return CommandResult.failure(
+                    f"--tamper-provider out of range "
+                    f"(0..{len(join.providers) - 1})")
+            tampered = join.providers[args.tamper_provider]
+            round_index = scenario.board.latest(tampered)[0]
+            scenario.board.publish(tampered, round_index,
+                                   Digest(bytes(32)), replace=True)
+            print(f"tampered: republished a bogus root for "
+                  f"{tampered!r}")
+
+        try:
+            report = FederationAuditor().audit(
+                scenario.public_views(), scenario.board, join)
+        except ReproError as exc:
+            return CommandResult.failure(f"audit failed: {exc}")
+        print(report)
+
+        if tampered is not None:
+            if report.flagged != (tampered,):
+                return CommandResult.failure(
+                    f"auditor flagged {report.flagged!r}, expected "
+                    f"exactly ({tampered!r},)")
+            print(f"auditor correctly flagged {tampered!r}")
+            return CommandResult.ok(flagged=list(report.flagged))
+        if not report.consistent:
+            return CommandResult.failure(
+                "federation round is not consistent",
+                flagged=list(report.flagged))
+        return CommandResult.ok(
+            providers=list(join.providers),
+            loss_ppm=report.path["loss_ppm"],
+            sla_ok=report.sla_ok,
+        )

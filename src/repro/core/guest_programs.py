@@ -1006,6 +1006,141 @@ def fold_guest(env: GuestEnv) -> None:
         env.commit_many(items)
 
 
+# The one query every provider proves for a federation round: total
+# traffic, total loss, flow count.  The join guest pins the exact SQL so
+# no provider can substitute a filtered view of its own round.
+FEDERATION_TOTALS_SQL = \
+    "SELECT SUM(packets), SUM(lost_packets), COUNT(*) FROM clogs"
+JOIN_CYCLES_PER_PROVIDER = 150
+PPM = 1_000_000
+
+
+@guest_program("telemetry-federation-join-v1")
+def federation_join_guest(env: GuestEnv) -> None:
+    """ROADMAP item 4: prove a cross-provider join from K verified
+    query receipts — the auditor checks one receipt instead of trusting
+    its own arithmetic over K query responses.
+
+    Input frames: a federation header (provider names in delivery-chain
+    order, their published round roots, join thresholds); then one
+    *resolved* query-receipt binding per provider, each proving the
+    canonical :data:`FEDERATION_TOTALS_SQL` over that provider's
+    committed round.  The guest verifies every binding (image id pinned
+    to the query guests), checks each proven root against the published
+    root in the header — a provider whose published root does not match
+    its proven round deterministically aborts the join — and computes
+    end-to-end path loss, the inter-domain traffic matrix and an SLA
+    attestation over the proven totals.
+
+    Traffic model (the shape ``build_federation_scenario`` constructs):
+    providers hand traffic down the chain in header order; per provider
+    ``SUM(packets)`` is what arrived at its ingress and ``SUM(packets)
+    − SUM(lost_packets)`` what it delivered downstream (each egress
+    link's loss is charged to the upstream domain, as in the two-party
+    peering model).  All arithmetic is exact-integer in parts-per-
+    million, so the attestation is deterministic across hosts.
+    """
+    header = env.read()
+    num_providers: int = header["num_providers"]
+    providers: list[str] = list(header["providers"])
+    roots: list[Digest] = list(header["roots"])
+    tolerance_ppm: int = header["tolerance_ppm"]
+    sla_loss_ppm: int = header["sla_loss_ppm"]
+    if num_providers < 2:
+        env.abort("a federation join needs at least two providers")
+    if len(providers) != num_providers \
+            or len(roots) != num_providers:
+        env.abort("provider names/roots do not match num_providers")
+    if tolerance_ppm < 0 or sla_loss_ppm < 0:
+        env.abort("federation thresholds must be non-negative")
+
+    rounds: list[int] = []
+    packets: list[int] = []
+    lost: list[int] = []
+    flows: list[int] = []
+    for index in range(num_providers):
+        binding = env.read()
+        if binding["image_id"] not in (query_guest.image_id,
+                                       query_merge_guest.image_id):
+            env.abort("federation join input was not produced by a "
+                      "query guest")
+        env.tick(len(binding["journal"]) * DECODE_CYCLES_PER_BYTE,
+                 "verify")
+        claim_digest = _guest_claim_digest(env, binding)
+        env.verify(binding["image_id"], claim_digest)
+        values = list(decode_stream(binding["journal"]))
+        journal = values[0] if len(values) == 1 else None
+        if not isinstance(journal, dict):
+            env.abort("provider journal is not a single query header")
+        if journal["query"] != FEDERATION_TOTALS_SQL:
+            env.abort(f"provider {providers[index]!r} proved a "
+                      "different query than the federation totals")
+        if journal["root"] != roots[index]:
+            env.abort(f"provider {providers[index]!r} published a "
+                      "root that does not match its proven round")
+        prov_packets, prov_lost, prov_flows = journal["values"]
+        prov_packets = int(prov_packets or 0)
+        prov_lost = int(prov_lost or 0)
+        prov_flows = int(prov_flows or 0)
+        if prov_lost < 0 or prov_packets < prov_lost:
+            env.abort(f"provider {providers[index]!r} proved more "
+                      "loss than traffic")
+        rounds.append(int(journal["round"]))
+        packets.append(prov_packets)
+        lost.append(prov_lost)
+        flows.append(prov_flows)
+    env.tick(num_providers * JOIN_CYCLES_PER_PROVIDER, "merge")
+
+    delivered = [packets[i] - lost[i] for i in range(num_providers)]
+    boundaries: list[list[Any]] = []
+    matrix: list[list[Any]] = []
+    boundaries_ok = True
+    for i in range(num_providers - 1):
+        sent = delivered[i]
+        received = packets[i + 1]
+        gap = sent - received
+        larger = max(sent, received)
+        within = larger == 0 \
+            or abs(gap) * PPM <= tolerance_ppm * larger
+        ok = within and flows[i] == flows[i + 1]
+        boundaries_ok = boundaries_ok and ok
+        boundaries.append([providers[i], providers[i + 1], sent,
+                           received, gap, ok])
+        matrix.append([providers[i], providers[i + 1], sent])
+
+    offered = packets[0]
+    end_delivered = delivered[-1]
+    path_lost = offered - end_delivered
+    loss_ppm = path_lost * PPM // offered if offered else 0
+    provider_ok: list[bool] = []
+    for i in range(num_providers):
+        internal_ppm = lost[i] * PPM // packets[i] if packets[i] else 0
+        provider_ok.append(internal_ppm <= sla_loss_ppm)
+    sla_ok = boundaries_ok and all(provider_ok)
+
+    env.commit({
+        "providers": providers,
+        "roots": roots,
+        "rounds": rounds,
+        "totals": [[packets[i], lost[i], flows[i]]
+                   for i in range(num_providers)],
+        "boundaries": boundaries,
+        "matrix": matrix,
+        "path": {
+            "offered": offered,
+            "delivered": end_delivered,
+            "lost": path_lost,
+            "loss_ppm": loss_ppm,
+        },
+        "sla": {
+            "tolerance_ppm": tolerance_ppm,
+            "loss_ppm_limit": sla_loss_ppm,
+            "providers": provider_ok,
+            "ok": sla_ok,
+        },
+    })
+
+
 # -- guest registry ----------------------------------------------------------
 
 GUEST_REGISTRY: dict[str, GuestProgram] = {}
@@ -1046,5 +1181,6 @@ def resolve_guest(name: str) -> GuestProgram:
 for _program in (aggregation_guest, query_guest, partition_guest,
                  merge_guest, query_partition_guest, query_merge_guest,
                  query_batch_partition_guest, query_batch_merge_guest,
-                 delta_aggregation_guest, fold_guest):
+                 delta_aggregation_guest, fold_guest,
+                 federation_join_guest):
     register_guest(_program)

@@ -1,0 +1,190 @@
+"""The federation auditor: receipts in, verdict out.
+
+The auditor holds only public material — each provider's bulletin
+board, its chain receipts, the shared :class:`~repro.federation.
+scenario.RootBoard`, and the join receipt.  It never sees a flow
+record; it never re-does the reconciliation arithmetic.  Its job is
+three checks:
+
+1. every provider's chain verifies against its own bulletin
+   (:class:`~repro.core.verifier_client.VerifierClient`);
+2. every provider's *published* root matches the root its verified
+   chain actually proves — a mismatch flags that provider as Byzantine
+   without disturbing the others;
+3. the join receipt verifies under the federation join guest's image
+   id, and the roots its journal binds are exactly the verified chain
+   roots.
+
+Whatever survives all three is trusted as proven: path loss, traffic
+matrix and SLA verdicts are read straight out of the join journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.guest_programs import federation_join_guest
+from ..core.verifier_client import VerifierClient
+from ..errors import ProofError, ReproError
+from ..hashing import Digest
+from ..zkvm import Verifier
+from .join import FederationJoinResult
+from .scenario import ProviderPublic, RootBoard
+
+
+@dataclass(frozen=True)
+class ProviderAudit:
+    """One provider's standing after chain + root verification."""
+
+    name: str
+    round: int | None
+    verified_root: Digest | None
+    published_root: Digest | None
+    flagged: bool
+    reason: str  # "", "chain-invalid", "missing-root", "tampered-root"
+
+
+@dataclass(frozen=True)
+class BoundaryAudit:
+    """One inter-domain boundary from the join journal."""
+
+    src: str
+    dst: str
+    sent: int
+    received: int
+    gap: int
+    ok: bool
+    trusted: bool  # both endpoints unflagged
+
+
+@dataclass(frozen=True)
+class FederationReport:
+    """The auditor's verdict over a proven federation round."""
+
+    providers: tuple[ProviderAudit, ...]
+    boundaries: tuple[BoundaryAudit, ...]
+    path: dict[str, int]
+    matrix: tuple[tuple[str, str, int], ...]
+    sla_ok: bool
+
+    @property
+    def flagged(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.providers if p.flagged)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.flagged and all(b.ok for b in self.boundaries)
+
+    def __str__(self) -> str:
+        status = "CONSISTENT" if self.consistent else "DISPUTED"
+        lines = [
+            f"[{status}] {len(self.providers)} providers, "
+            f"end-to-end loss {self.path['loss_ppm']} ppm "
+            f"({self.path['offered']:,} offered, "
+            f"{self.path['delivered']:,} delivered), "
+            f"SLA {'ok' if self.sla_ok else 'VIOLATED'}"
+        ]
+        for audit in self.providers:
+            if audit.flagged:
+                lines.append(f"  !! {audit.name}: {audit.reason}")
+        for b in self.boundaries:
+            mark = "ok" if b.ok else "GAP"
+            trust = "" if b.trusted else " (untrusted endpoint)"
+            lines.append(
+                f"  {b.src} -> {b.dst}: sent {b.sent:,}, "
+                f"received {b.received:,} [{mark}]{trust}"
+            )
+        return "\n".join(lines)
+
+
+class FederationAuditor:
+    """Verifies a federation round from public material alone."""
+
+    def audit(
+        self,
+        publics: tuple[ProviderPublic, ...],
+        board: RootBoard,
+        join: FederationJoinResult,
+    ) -> FederationReport:
+        audits = [self._audit_provider(public, board) for public in publics]
+        by_name = {audit.name: audit for audit in audits}
+
+        # The join receipt itself: pinned image id, full verification.
+        Verifier().verify(join.receipt, federation_join_guest.image_id)
+        journal = join.receipt.journal.decode_one()
+        names = [public.name for public in publics]
+        if list(journal["providers"]) != names:
+            raise ProofError("join journal covers different providers than the audit set")
+        # The roots the join was proven over must be the verified chain
+        # roots; a coordinator that joined over stale or fabricated
+        # roots is caught here even when every provider is honest.
+        audits = [
+            self._cross_check_join_root(audit, journal["roots"][index])
+            for index, audit in enumerate(audits)
+        ]
+        by_name = {audit.name: audit for audit in audits}
+
+        boundaries = tuple(
+            BoundaryAudit(
+                src=src,
+                dst=dst,
+                sent=sent,
+                received=received,
+                gap=gap,
+                ok=bool(ok),
+                trusted=not by_name[src].flagged and not by_name[dst].flagged,
+            )
+            for src, dst, sent, received, gap, ok in journal["boundaries"]
+        )
+        return FederationReport(
+            providers=tuple(audits),
+            boundaries=boundaries,
+            path=dict(journal["path"]),
+            matrix=tuple((src, dst, pkts) for src, dst, pkts in journal["matrix"]),
+            sla_ok=bool(journal["sla"]["ok"]),
+        )
+
+    @staticmethod
+    def _audit_provider(public: ProviderPublic, board: RootBoard) -> ProviderAudit:
+        verifier = VerifierClient(public.bulletin)
+        try:
+            verified = verifier.verify_chain(list(public.receipts))
+        except ReproError:
+            return ProviderAudit(
+                name=public.name,
+                round=None,
+                verified_root=None,
+                published_root=None,
+                flagged=True,
+                reason="chain-invalid",
+            )
+        last = verified[-1]
+        round_index = last.round
+        published = board.try_root(public.name, round_index)
+        if published is None:
+            flagged, reason = True, "missing-root"
+        elif published != last.new_root:
+            flagged, reason = True, "tampered-root"
+        else:
+            flagged, reason = False, ""
+        return ProviderAudit(
+            name=public.name,
+            round=round_index,
+            verified_root=last.new_root,
+            published_root=published,
+            flagged=flagged,
+            reason=reason,
+        )
+
+    @staticmethod
+    def _cross_check_join_root(audit: ProviderAudit, join_root: Digest) -> ProviderAudit:
+        if audit.flagged or audit.verified_root == join_root:
+            return audit
+        return ProviderAudit(
+            name=audit.name,
+            round=audit.round,
+            verified_root=audit.verified_root,
+            published_root=audit.published_root,
+            flagged=True,
+            reason="join-root-mismatch",
+        )

@@ -1,0 +1,144 @@
+"""Federated sketch workloads: heavy hitters and DDoS attestation.
+
+Two workloads that answer questions no single provider can: *which
+flows dominate the federation as a whole*, and *how much of a suspect
+flow did each provider actually carry*.  Both ride on
+:mod:`repro.core.sketch_proof` — every provider proves a sketch build
+over its own committed windows (binding every consumed commitment to
+its bulletin), and only the proven journals — digests, totals, top-k
+lists, point estimates — cross domain boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sketch_proof import (
+    SketchBuildResult,
+    SketchEstimate,
+    SketchTelemetry,
+    verify_sketch_build,
+    verify_sketch_estimate,
+)
+from ..errors import ProofError
+from ..netflow.records import FlowKey
+from ..obs import names as obs_names
+from ..obs import runtime as obs
+from .scenario import FederationScenario
+
+
+@dataclass(frozen=True)
+class FederationHeavyHitters:
+    """Federation-wide heavy hitters from per-provider proven sketches."""
+
+    builds: dict[str, SketchBuildResult]
+    per_provider: dict[str, tuple[tuple[bytes, int], ...]]
+    combined: tuple[tuple[bytes, int], ...]
+
+    @property
+    def top_key(self) -> FlowKey:
+        if not self.combined:
+            raise ProofError("no heavy hitters were proven")
+        return FlowKey.unpack(self.combined[0][0])
+
+
+@dataclass(frozen=True)
+class FederationDdosAttestation:
+    """Per-provider proven volume for one suspect flow."""
+
+    key: FlowKey
+    threshold: int
+    per_provider: dict[str, int]
+    estimates: dict[str, SketchEstimate]
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_provider.values())
+
+    @property
+    def exceeded(self) -> bool:
+        return self.total >= self.threshold
+
+    @property
+    def dominant_provider(self) -> str:
+        return max(self.per_provider, key=lambda name: self.per_provider[name])
+
+
+def prove_heavy_hitters(
+    scenario: FederationScenario,
+    top_k: int = 8,
+    telemetry: SketchTelemetry | None = None,
+) -> FederationHeavyHitters:
+    """Prove per-provider sketch builds and merge the verified top lists.
+
+    Each provider's build covers every window committed on its own
+    bulletin; ``verify_sketch_build`` plays the auditor, re-checking
+    the receipt and every consumed commitment before the provider's
+    top-k list is admitted into the combined ranking.  Counts merge by
+    summation, which is exact for Space-Saving entries present in every
+    provider's list and a lower bound otherwise.
+    """
+    telemetry = telemetry or SketchTelemetry()
+    obs.registry().counter(obs_names.FEDERATION_WORKLOADS, ("kind",)).inc(kind="heavy-hitters")
+    builds: dict[str, SketchBuildResult] = {}
+    per_provider: dict[str, tuple[tuple[bytes, int], ...]] = {}
+    combined: dict[bytes, int] = {}
+    for domain in scenario.providers:
+        windows = domain.prover.bulletin.windows()
+        if not windows:
+            raise ProofError(f"provider {domain.name!r} has no committed windows to sketch")
+        inputs = []
+        for window_index in windows:
+            inputs.extend(domain.prover.gather_window(window_index))
+        build = telemetry.build(inputs, top_k=top_k)
+        journal = verify_sketch_build(build.receipt, domain.prover.bulletin)
+        builds[domain.name] = build
+        top = tuple((entry["k"], entry["c"]) for entry in journal["top"])
+        per_provider[domain.name] = top
+        for key_bytes, count in top:
+            combined[key_bytes] = combined.get(key_bytes, 0) + count
+    ranked = sorted(combined.items(), key=lambda item: (-item[1], item[0]))
+    return FederationHeavyHitters(
+        builds=builds,
+        per_provider=per_provider,
+        combined=tuple(ranked[:top_k]),
+    )
+
+
+def prove_ddos_attestation(
+    scenario: FederationScenario,
+    threshold: int,
+    key: FlowKey | None = None,
+    hitters: FederationHeavyHitters | None = None,
+    telemetry: SketchTelemetry | None = None,
+) -> FederationDdosAttestation:
+    """Prove how much of one flow each provider carried.
+
+    With no ``key`` the federation-wide top heavy hitter is attested —
+    the natural DDoS suspect.  Every provider proves a point estimate
+    against its own verified sketch build; the attestation sums the
+    *verified* estimates, so the federation-wide volume claim rests on
+    receipts rather than on any provider's say-so.
+    """
+    obs.registry().counter(obs_names.FEDERATION_WORKLOADS, ("kind",)).inc(kind="ddos")
+    telemetry = telemetry or SketchTelemetry()
+    if hitters is None:
+        hitters = prove_heavy_hitters(scenario, telemetry=telemetry)
+    if key is None:
+        key = hitters.top_key
+    per_provider: dict[str, int] = {}
+    estimates: dict[str, SketchEstimate] = {}
+    for domain in scenario.providers:
+        build = hitters.builds.get(domain.name)
+        if build is None:
+            raise ProofError(f"provider {domain.name!r} has no sketch build to estimate from")
+        estimate = telemetry.prove_estimate(build, key)
+        journal = verify_sketch_build(build.receipt, domain.prover.bulletin)
+        per_provider[domain.name] = verify_sketch_estimate(estimate, journal)
+        estimates[domain.name] = estimate
+    return FederationDdosAttestation(
+        key=key,
+        threshold=threshold,
+        per_provider=per_provider,
+        estimates=estimates,
+    )

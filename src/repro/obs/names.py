@@ -31,6 +31,7 @@ SPAN_STREAM_FOLD = "stream.fold"
 SPAN_QSERVE_ADMIT = "qserve.admit"
 SPAN_QSERVE_BATCH = "qserve.batch"
 SPAN_CLUSTER_DISPATCH = "cluster.dispatch"
+SPAN_FEDERATION_JOIN = "federation.join"
 
 SPAN_NAMES = frozenset({
     SPAN_EXECUTE,
@@ -53,6 +54,7 @@ SPAN_NAMES = frozenset({
     SPAN_QSERVE_ADMIT,
     SPAN_QSERVE_BATCH,
     SPAN_CLUSTER_DISPATCH,
+    SPAN_FEDERATION_JOIN,
 })
 
 # -- metric names (name -> declared label names) -----------------------------
@@ -116,6 +118,12 @@ CLUSTER_FALLBACK = "repro_cluster_fallback_total"
 CLUSTER_NODES = "repro_cluster_nodes"
 CLUSTER_DEGRADED = "repro_cluster_degraded"
 CLUSTER_WORKER_JOBS = "repro_cluster_worker_jobs_total"
+
+# federated multi-provider joins
+FEDERATION_JOINS = "repro_federation_joins_total"
+FEDERATION_PROVIDERS = "repro_federation_providers"
+FEDERATION_JOIN_SECONDS = "repro_federation_join_seconds"
+FEDERATION_WORKLOADS = "repro_federation_workloads_total"
 
 # query proving
 QUERY_PROOFS = "repro_query_proofs_total"
@@ -185,6 +193,10 @@ METRIC_LABELS: dict[str, tuple[str, ...]] = {
     CLUSTER_NODES: ("state",),
     CLUSTER_DEGRADED: (),
     CLUSTER_WORKER_JOBS: ("outcome",),
+    FEDERATION_JOINS: ("outcome",),
+    FEDERATION_PROVIDERS: (),
+    FEDERATION_JOIN_SECONDS: (),
+    FEDERATION_WORKLOADS: ("kind",),
     QUERY_PROOFS: (),
     QUERY_SECONDS: (),
     QUERY_PARTITIONS: (),

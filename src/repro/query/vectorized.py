@@ -157,10 +157,11 @@ def _predicate_mask(predicate: Predicate | None,
 
 
 def _matched_indices(query: Query, entries: Sequence[EntryView],
-                     cost_hook: Callable[[int], None] | None) -> Any | None:
+                     cost_hook: Callable[[int], None] | None,
+                     columns: dict[str, Any]) -> Any | None:
     if _np is None or not isinstance(entries, (list, tuple)):
         return None
-    mask = _predicate_mask(query.where, entries, {})
+    mask = _predicate_mask(query.where, entries, columns)
     if mask is None:
         return None
     scanned = len(entries)
@@ -171,11 +172,85 @@ def _matched_indices(query: Query, entries: Sequence[EntryView],
     return _np.nonzero(mask)[0]
 
 
+def _grouped_buckets(query: Query, entries: Sequence[EntryView],
+                     indices: Any,
+                     columns: dict[str, Any]
+                     ) -> list[tuple[Any, list[_Accumulator]]] | None:
+    """Vectorized GROUP BY: ``(key, accumulators)`` in key-sorted order.
+
+    Bucket *membership* — the per-row key extraction, dict insert and
+    final sort the reference loop does — collapses into one
+    ``np.unique(..., return_inverse=True)`` over the group column plus a
+    stable argsort, reusing any column the WHERE mask already built.
+    Only the matched rows of each bucket still walk through
+    ``_Accumulator.feed`` (their Fraction sums are what keeps
+    partitioned results bit-identical); COUNT(*)-only queries skip even
+    that.  Returns ``None`` when the group column is not safely
+    vectorizable — float columns stay on the reference loop because
+    ``np.unique`` totally orders NaN while ``sorted`` raises — and the
+    caller must then fall back to ``_grouped_buckets_reference``, NOT
+    bail to the caller's reference path: ``cost_hook`` has already been
+    charged for the scan by the time grouping starts.
+    """
+    group_field = query.group_by.name
+    if group_field not in columns:
+        columns[group_field] = _build_column(entries, group_field)
+    column = columns[group_field]
+    if column is None:
+        return None
+    kind, array = column
+    if kind == "float":
+        return None
+    uniques, inverse = _np.unique(array[indices], return_inverse=True)
+    order = _np.argsort(inverse, kind="stable")
+    splits = _np.flatnonzero(_np.diff(inverse[order])) + 1
+    members = _np.split(indices[order], splits)
+    # `.tolist()` yields native int/str keys — identical to the
+    # reference `_field_value` keys, so journals stay byte-identical;
+    # np.unique's ascending order equals `sorted(..., key=_sort_key)`
+    # for a homogeneous int64 or str column.
+    count_only = all(a.field is None for a in query.aggregates)
+    grouped: list[tuple[Any, list[_Accumulator]]] = []
+    for key, bucket_indices in zip(uniques.tolist(), members):
+        accumulators = [_Accumulator(a) for a in query.aggregates]
+        if count_only:
+            for accumulator in accumulators:
+                accumulator.count = int(bucket_indices.shape[0])
+        else:
+            for index in bucket_indices:
+                entry = entries[index]
+                for accumulator in accumulators:
+                    accumulator.feed(entry)
+        grouped.append((key, accumulators))
+    return grouped
+
+
+def _grouped_buckets_reference(query: Query,
+                               entries: Sequence[EntryView],
+                               indices: Any
+                               ) -> list[tuple[Any, list[_Accumulator]]]:
+    """The exact reference bucket loop, over pre-matched indices."""
+    group_field = query.group_by.name
+    buckets: dict[Any, list[_Accumulator]] = {}
+    for index in indices:
+        entry = entries[index]
+        key = _field_value(entry, group_field)
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = [_Accumulator(a) for a in query.aggregates]
+            buckets[key] = bucket
+        for accumulator in bucket:
+            accumulator.feed(entry)
+    return [(key, buckets[key])
+            for key in sorted(buckets, key=_sort_key)]
+
+
 def try_evaluate(query: Query, entries: Sequence[EntryView],
                  cost_hook: Callable[[int], None] | None = None,
                  ) -> QueryResult | None:
     """Vectorized :func:`~repro.query.evaluator.evaluate`; None = bail."""
-    indices = _matched_indices(query, entries, cost_hook)
+    columns: dict[str, Any] = {}
+    indices = _matched_indices(query, entries, cost_hook, columns)
     if indices is None:
         return None
     matched = int(indices.shape[0])
@@ -196,28 +271,19 @@ def try_evaluate(query: Query, entries: Sequence[EntryView],
             matched=matched,
             scanned=scanned,
         )
-    group_field = query.group_by.name
-    buckets: dict[Any, list[_Accumulator]] = {}
-    for index in indices:
-        entry = entries[index]
-        key = _field_value(entry, group_field)
-        bucket = buckets.get(key)
-        if bucket is None:
-            bucket = [_Accumulator(a) for a in query.aggregates]
-            buckets[key] = bucket
-        for accumulator in bucket:
-            accumulator.feed(entry)
-    groups = tuple(
-        (key, tuple(a.result() for a in buckets[key]))
-        for key in sorted(buckets, key=_sort_key)
-    )
+    grouped = _grouped_buckets(query, entries, indices, columns)
+    if grouped is None:
+        grouped = _grouped_buckets_reference(query, entries, indices)
     return QueryResult(
         labels=query.labels,
         values=(),
         matched=matched,
         scanned=scanned,
-        group_by=group_field,
-        groups=groups,
+        group_by=query.group_by.name,
+        groups=tuple(
+            (key, tuple(a.result() for a in accumulators))
+            for key, accumulators in grouped
+        ),
     )
 
 
@@ -225,7 +291,8 @@ def try_evaluate_partial(query: Query, entries: Sequence[EntryView],
                          cost_hook: Callable[[int], None] | None = None,
                          ) -> PartialQueryResult | None:
     """Vectorized :func:`~repro.query.evaluator.evaluate_partial`."""
-    indices = _matched_indices(query, entries, cost_hook)
+    columns: dict[str, Any] = {}
+    indices = _matched_indices(query, entries, cost_hook, columns)
     if indices is None:
         return None
     matched = int(indices.shape[0])
@@ -246,24 +313,16 @@ def try_evaluate_partial(query: Query, entries: Sequence[EntryView],
             group_by=None,
             states=tuple(a.state() for a in accumulators),
         )
-    group_field = query.group_by.name
-    buckets: dict[Any, list[_Accumulator]] = {}
-    for index in indices:
-        entry = entries[index]
-        key = _field_value(entry, group_field)
-        bucket = buckets.get(key)
-        if bucket is None:
-            bucket = [_Accumulator(a) for a in query.aggregates]
-            buckets[key] = bucket
-        for accumulator in bucket:
-            accumulator.feed(entry)
+    grouped = _grouped_buckets(query, entries, indices, columns)
+    if grouped is None:
+        grouped = _grouped_buckets_reference(query, entries, indices)
     return PartialQueryResult(
         matched=matched,
         scanned=scanned,
-        group_by=group_field,
+        group_by=query.group_by.name,
         states=(),
         group_states=tuple(
-            (key, tuple(a.state() for a in buckets[key]))
-            for key in sorted(buckets, key=_sort_key)
+            (key, tuple(a.state() for a in accumulators))
+            for key, accumulators in grouped
         ),
     )

@@ -98,3 +98,171 @@ class TestScenarioConstruction:
         with pytest.raises(ConfigurationError, match="does not belong"):
             scenario.domain_a.commit_window(
                 5, [make_record(router_id="r4")])
+
+
+class TestRegressionFixes:
+    """Regressions for two reconciliation bugs.
+
+    Both tests fail on the pre-fix code: ``relative_gap`` normalized by
+    ``delivered_by_a`` alone (0/0 -> "0.0", i.e. a silent pass when A
+    claimed nothing), and ``reconcile`` only aggregated when a domain's
+    chain was *completely* empty, so a partially-aggregated domain was
+    reconciled against a stale round.
+    """
+
+    def test_zero_delivery_gap_is_total_not_zero(self):
+        report = ReconciliationReport(
+            delivered_by_a=0, received_by_b=500,
+            flows_a=5, flows_b=5, tolerance=0.01)
+        assert report.relative_gap == 1.0
+        assert not report.consistent
+
+    def test_both_zero_is_consistent(self):
+        report = ReconciliationReport(
+            delivered_by_a=0, received_by_b=0,
+            flows_a=0, flows_b=0, tolerance=0.0)
+        assert report.relative_gap == 0.0
+        assert report.consistent
+
+    def test_reconcile_covers_stale_pending_windows(self):
+        """A domain with one round proven and another window still
+        pending must be reconciled over *all* committed data."""
+        scenario = build_peering_scenario(num_flows=24, seed=3,
+                                          num_windows=2)
+        scenario.domain_a.prover.aggregate_window(0)
+        assert scenario.domain_a.prover.pending_windows() == [1]
+        report = PeeringAuditor(tolerance=0.0).reconcile(scenario)
+        assert not scenario.domain_a.prover.pending_windows()
+        assert not scenario.domain_b.prover.pending_windows()
+        assert report.consistent
+        assert report.flows_a == report.flows_b == 24
+
+
+class TestFederationJoin:
+    """K-provider joins: one receipt replaces K query responses."""
+
+    @pytest.fixture(scope="class")
+    def federation(self):
+        from repro.federation import (
+            FederationAuditor,
+            FederationJoinProver,
+            build_federation_scenario,
+        )
+        scenario = build_federation_scenario(
+            num_providers=3, num_flows=36, seed=5,
+            boundary_loss=0.02)
+        prover = FederationJoinProver(tolerance_ppm=0)
+        join = prover.prove_join(scenario)
+        report = FederationAuditor().audit(
+            scenario.public_views(), scenario.board, join)
+        yield scenario, prover, join, report
+        prover.close()
+
+    def test_audit_is_consistent(self, federation):
+        scenario, _, join, report = federation
+        assert report.consistent
+        assert report.flagged == ()
+        assert join.providers == ("isp-a", "isp-b", "isp-c")
+        assert "CONSISTENT" in str(report)
+
+    def test_conservation_across_every_boundary(self, federation):
+        """Proven per-boundary conservation: what i delivered is
+        exactly what i+1 ingested, for every adjacent pair."""
+        _, _, join, report = federation
+        assert len(report.boundaries) == 2
+        for boundary in report.boundaries:
+            assert boundary.ok
+            assert boundary.gap == 0
+            assert boundary.trusted
+        # The matrix rows are the boundary sends.
+        assert join.matrix == tuple(
+            (b.src, b.dst, b.sent) for b in report.boundaries)
+
+    def test_path_loss_matches_totals(self, federation):
+        _, _, join, report = federation
+        path = report.path
+        assert path["offered"] - path["delivered"] == path["lost"]
+        assert path["lost"] > 0  # boundary_loss=0.02 loses something
+        assert join.path_loss_ppm == path["loss_ppm"]
+
+    def test_join_roots_are_the_verified_chain_roots(self, federation):
+        scenario, _, join, report = federation
+        for index, domain in enumerate(scenario.providers):
+            chain_root = domain.prover.chain.latest.new_root
+            assert join.roots[index] == chain_root
+            assert report.providers[index].verified_root == chain_root
+
+    def test_no_raw_records_cross_domain_boundaries(self, federation):
+        """The inter-domain artifact is the join receipt: no record
+        bytes and no flow key appears in its journal."""
+        scenario, _, join, _ = federation
+        journal_bytes = join.receipt.journal.data
+        for domain in scenario.providers:
+            for router_id in domain.router_ids:
+                for record in domain.store.window_records(router_id, 0):
+                    assert record.to_bytes() not in journal_bytes
+                    assert record.key.pack() not in journal_bytes
+
+    def test_sla_violation_detected(self, federation):
+        """With a 0-ppm SLA ceiling the lossy providers must fail."""
+        from repro.federation import FederationJoinProver
+        scenario, prover, _, _ = federation
+        strict = FederationJoinProver(engine=prover._engine,
+                                      sla_loss_ppm=0)
+        join = strict.prove_join(scenario)
+        assert not join.sla_ok
+        assert False in join.journal["sla"]["providers"]
+
+
+class TestByzantineProvider:
+    """A provider that equivocates on its published root is caught."""
+
+    @pytest.fixture()
+    def scenario(self):
+        from repro.federation import build_federation_scenario
+        built = build_federation_scenario(num_providers=2,
+                                          num_flows=10, seed=9)
+        built.aggregate_and_publish()
+        return built
+
+    def test_join_over_tampered_root_aborts(self, scenario):
+        """The coordinator feeds the join guest a root that does not
+        match the provider's proven round: deterministic abort."""
+        from repro.errors import GuestAbort
+        from repro.federation import FederationJoinProver
+        from repro.hashing import Digest
+        true_root = scenario.board.latest("isp-a")[1]
+        fake_root = Digest(bytes(32))
+        with FederationJoinProver() as prover:
+            with pytest.raises(GuestAbort, match="isp-b"):
+                prover.prove_join(scenario,
+                                  roots=[true_root, fake_root])
+            # Deterministic: same tamper, same abort.
+            with pytest.raises(GuestAbort, match="isp-b"):
+                prover.prove_join(scenario,
+                                  roots=[true_root, fake_root])
+
+    def test_auditor_flags_only_the_equivocator(self, scenario):
+        """An honest join followed by a board tamper: the auditor
+        flags exactly the tampered provider; the honest one's audit
+        is untouched and the proven boundary itself still balances."""
+        from repro.federation import (
+            FederationAuditor,
+            FederationJoinProver,
+        )
+        from repro.hashing import Digest
+        with FederationJoinProver() as prover:
+            join = prover.prove_join(scenario)
+        round_index = scenario.board.latest("isp-b")[0]
+        scenario.board.publish("isp-b", round_index,
+                               Digest(bytes(32)), replace=True)
+        report = FederationAuditor().audit(
+            scenario.public_views(), scenario.board, join)
+        assert report.flagged == ("isp-b",)
+        assert not report.consistent
+        audit_a, audit_b = report.providers
+        assert not audit_a.flagged and audit_a.reason == ""
+        assert audit_b.reason == "tampered-root"
+        # The proven arithmetic still holds; only trust is withdrawn.
+        assert all(b.ok for b in report.boundaries)
+        assert all(not b.trusted for b in report.boundaries)

@@ -191,6 +191,14 @@ QUERY_POOL = (
     "SELECT SUM(octets) FROM clogs GROUP BY protocol",
     "SELECT COUNT(*), AVG(packets) FROM clogs "
     "WHERE octets < 5000 GROUP BY hop_count",
+    # str group column: vectorized np.unique bucketing
+    "SELECT SUM(packets) FROM clogs "
+    "WHERE packets > 20 GROUP BY src_ip",
+    # float group column: must bail to the reference bucket loop
+    "SELECT COUNT(*) FROM clogs GROUP BY loss_rate",
+    # COUNT(*)-only grouped: per-bucket count fast path
+    "SELECT COUNT(*) FROM clogs WHERE protocol = 6 "
+    "GROUP BY hop_count",
 )
 
 

@@ -21,7 +21,7 @@ from repro.storage import SqliteLogStore
 EXPECTED_COMMANDS = (
     "simulate", "aggregate", "query", "serve", "worker", "metrics",
     "verify", "verify-bundle", "verify-query", "bundle", "tamper",
-    "info",
+    "info", "federate",
 )
 
 
@@ -54,7 +54,7 @@ class TestRegistry:
 
     def test_unknown_command_lookup(self):
         with pytest.raises(ConfigurationError, match="unknown CLI"):
-            CommandRegistry().get("federate")
+            CommandRegistry().get("replicate")
 
     def test_help_lists_every_registered_scenario(self, capsys):
         parser = CommandInvoker(REGISTRY).build_parser()
@@ -166,6 +166,8 @@ class TestEveryCommandSmokeRuns:
             ("metrics", ["--out", str(metrics_out)]),
             ("serve", base + ["--receipts", str(receipts)]),
             ("worker", []),
+            ("federate", ["--providers", "2", "--flows", "8",
+                          "--seed", "3"]),
             # Last: corrupts the store, so nothing may run after it.
             ("tamper", ["--db", str(db), "--window", "0",
                         "--router", None]),  # router filled below
